@@ -1,0 +1,107 @@
+"""Ablation: decomposing the PL-VINI CPU isolation knobs.
+
+Section 4.1.2 adds two mechanisms: CPU reservations (capacity) and
+real-time priority (scheduling latency). Table 4/5 evaluate them only
+together; this ablation separates them, on the Table 4 workload:
+
+    none        - default fair share (the "IIAS on PlanetLab" row)
+    reservation - 25% CPU reservation only
+    realtime    - real-time priority only
+    both        - the "IIAS on PL-VINI" configuration
+
+Expectation: the reservation recovers *throughput* (it buys capacity);
+real-time priority recovers *latency/jitter*; only both reproduce the
+paper's PL-VINI row.
+"""
+
+from benchmarks.common import (
+    add_planetlab_load,
+    format_table,
+    save_report,
+)
+from repro.core import VINI, Experiment
+from repro.tools import IperfTCPClient, IperfTCPServer, Ping
+from benchmarks.common import PLANETLAB_POPS, ACCESS_BW
+
+DURATION = 4.0
+STREAMS = 20
+
+CONFIGS = {
+    "none": dict(cpu_reservation=0.0, realtime=False),
+    "reservation": dict(cpu_reservation=0.25, realtime=False),
+    "realtime": dict(cpu_reservation=0.0, realtime=True),
+    "both": dict(cpu_reservation=0.25, realtime=True),
+}
+
+
+def run_config(name: str, seed: int = 41):
+    vini = VINI(seed=seed)
+    for pop in ("chicago", "newyork", "washington"):
+        vini.add_node(pop)
+    for a, b, delay in PLANETLAB_POPS:
+        vini.connect(a, b, bandwidth=ACCESS_BW, delay=delay,
+                     queue_bytes=256 * 1024)
+    vini.install_underlay_routes()
+    exp = Experiment(vini, "iias", **CONFIGS[name])
+    for pop in ("chicago", "newyork", "washington"):
+        exp.add_node(pop, pop)
+    exp.connect("chicago", "newyork")
+    exp.connect("newyork", "washington")
+    exp.configure_ospf(hello_interval=5.0, dead_interval=10.0)
+    exp.start()
+    for node in vini.nodes.values():
+        add_planetlab_load(node)
+    vini.run(until=30.0)
+    src = exp.network.nodes["chicago"]
+    sink = exp.network.nodes["washington"]
+    server = IperfTCPServer(sink.phys_node, sliver=sink.sliver)
+    client = IperfTCPClient(
+        src.phys_node, sink.tap_addr, sliver=src.sliver,
+        streams=STREAMS, duration=DURATION, server=server,
+    ).start()
+    start = vini.sim.now
+    vini.run(until=start + DURATION + 1.0)
+    mbps = client.result().throughput_mbps
+    # Latency probe after the bulk test so it is not self-congested.
+    ping = Ping(src.phys_node, sink.tap_addr, sliver=src.sliver,
+                interval=0.05, count=200).start()
+    vini.run(until=vini.sim.now + 12.0)
+    return mbps, ping.stats()
+
+
+def run_all():
+    return {name: run_config(name) for name in CONFIGS}
+
+
+def bench_ablation_cpu_isolation(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name in CONFIGS:
+        mbps, stats = results[name]
+        rows.append(
+            [name, f"{mbps:.1f}", f"{stats.avg_rtt * 1e3:.1f}",
+             f"{stats.mdev * 1e3:.2f}", f"{stats.max_rtt * 1e3:.1f}"]
+        )
+    report = format_table(
+        "Ablation: CPU reservation vs real-time priority (Table 4 workload)",
+        ["config", "Mb/s", "ping avg ms", "mdev ms", "max ms"],
+        rows,
+    )
+    print("\n" + report)
+    save_report("ablation_cpu_isolation", report)
+    none_mbps = results["none"][0]
+    rsv_mbps = results["reservation"][0]
+    both_mbps = results["both"][0]
+    none_mdev = results["none"][1].mdev
+    rt_mdev = results["realtime"][1].mdev
+    both_mdev = results["both"][1].mdev
+    benchmark.extra_info.update(
+        none=none_mbps, reservation=rsv_mbps, both=both_mbps
+    )
+    # The reservation buys throughput over the default share.
+    assert rsv_mbps > none_mbps * 1.5
+    # Real-time priority buys latency stability.
+    assert rt_mdev < none_mdev / 2
+    # Both together match or beat each alone.
+    assert both_mbps >= rsv_mbps * 0.8
+    assert both_mdev <= rt_mdev * 1.5

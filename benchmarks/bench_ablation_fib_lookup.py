@@ -1,0 +1,81 @@
+"""Ablation: FIB lookup data structure (RadixIPLookup vs LinearIPLookup).
+
+Click ships both; IIAS configurations at Abilene scale (a dozen
+prefixes) could use either, but anything Internet-scale needs the
+radix trie. This bench measures raw lookups/second at both table
+sizes. Unlike the simulation benches, this one measures *real* Python
+execution time, so it uses pytest-benchmark's timing directly.
+"""
+
+import random
+
+from benchmarks.common import format_table, save_report
+from repro.click import LinearIPLookup, RadixIPLookup
+from repro.net.addr import IPv4Address, Prefix
+
+ABILENE_SCALE = 16
+INTERNET_SCALE = 10_000
+LOOKUPS = 2_000
+
+
+def build_table(lookup_cls, n_routes, seed=7):
+    rng = random.Random(seed)
+    table = lookup_cls()
+    for index in range(n_routes):
+        base = rng.getrandbits(32)
+        plen = rng.choice([8, 16, 24, 24, 24, 32])
+        table.add_route(Prefix(base, plen), IPv4Address(base | 1), 0)
+    return table
+
+
+def make_addresses(seed=11):
+    rng = random.Random(seed)
+    return [rng.getrandbits(32) for _ in range(LOOKUPS)]
+
+
+def run_lookups(table, addresses):
+    hits = 0
+    for addr in addresses:
+        if table._lookup(IPv4Address(addr)) is not None:
+            hits += 1
+    return hits
+
+
+def bench_ablation_fib_lookup(benchmark):
+    addresses = make_addresses()
+    tables = {
+        ("radix", ABILENE_SCALE): build_table(RadixIPLookup, ABILENE_SCALE),
+        ("linear", ABILENE_SCALE): build_table(LinearIPLookup, ABILENE_SCALE),
+        ("radix", INTERNET_SCALE): build_table(RadixIPLookup, INTERNET_SCALE),
+        ("linear", INTERNET_SCALE): build_table(LinearIPLookup, INTERNET_SCALE),
+    }
+    import time
+
+    timings = {}
+    for key, table in tables.items():
+        start = time.perf_counter()
+        run_lookups(table, addresses)
+        timings[key] = time.perf_counter() - start
+
+    # Benchmark the radix table at Internet scale (the interesting one).
+    benchmark.pedantic(
+        run_lookups, args=(tables[("radix", INTERNET_SCALE)], addresses),
+        rounds=3, iterations=1,
+    )
+    rows = []
+    for (kind, scale), elapsed in sorted(timings.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        rate = LOOKUPS / elapsed
+        rows.append([kind, str(scale), f"{rate:,.0f}"])
+    report = format_table(
+        "Ablation: FIB lookup structure vs table size (pure lookups/s)",
+        ["structure", "routes", "lookups/s"],
+        rows,
+    )
+    print("\n" + report)
+    save_report("ablation_fib_lookup", report)
+    # The radix trie is scale-insensitive; linear scan collapses.
+    radix_ratio = timings[("radix", INTERNET_SCALE)] / timings[("radix", ABILENE_SCALE)]
+    linear_ratio = timings[("linear", INTERNET_SCALE)] / timings[("linear", ABILENE_SCALE)]
+    assert radix_ratio < 10
+    assert linear_ratio > 20
+    assert timings[("linear", INTERNET_SCALE)] > timings[("radix", INTERNET_SCALE)]

@@ -1,0 +1,104 @@
+"""Ablation: non-work-conserving CPU scheduling for repeatability.
+
+Section 6.2: "The first step is to implement a non-work-conserving
+scheduler that ensures that each experiment always receives the same
+CPU allocation (i.e., neither less nor more), which is necessary for
+repeatable experiments."
+
+This bench runs the same overlay UDP workload under a work-conserving
+fair share and under a 20 % cap+reservation, on an idle substrate and
+on a busy one. The work-conserving slice's delivered rate swings with
+the background load; the capped slice's rate is (near-)identical in
+both conditions — the repeatability property.
+"""
+
+from benchmarks.common import (
+    PLANETLAB_POPS,
+    ACCESS_BW,
+    add_planetlab_load,
+    format_table,
+    save_report,
+)
+from repro.core import VINI, Experiment
+from repro.tools import IperfUDPClient, IperfUDPServer
+
+RATE = 60e6  # offered load beyond a 20% CPU slice's capacity
+DURATION = 3.0
+
+
+def run_case(scheduler: str, loaded: bool, seed: int = 51):
+    vini = VINI(seed=seed)
+    for pop in ("chicago", "newyork", "washington"):
+        vini.add_node(pop)
+    for a, b, delay in PLANETLAB_POPS:
+        vini.connect(a, b, bandwidth=ACCESS_BW, delay=delay,
+                     queue_bytes=256 * 1024)
+    vini.install_underlay_routes()
+    kwargs = {}
+    if scheduler == "capped":
+        kwargs = dict(cpu_cap=0.2, cpu_reservation=0.2)
+    exp = Experiment(vini, "iias", **kwargs)
+    for pop in ("chicago", "newyork", "washington"):
+        exp.add_node(pop, pop)
+    exp.connect("chicago", "newyork")
+    exp.connect("newyork", "washington")
+    exp.configure_ospf(hello_interval=5.0, dead_interval=10.0)
+    exp.start()
+    if loaded:
+        for node in vini.nodes.values():
+            add_planetlab_load(node, n_hogs=4)
+    vini.run(until=30.0)
+    src = exp.network.nodes["chicago"]
+    sink = exp.network.nodes["washington"]
+    server = IperfUDPServer(sink.phys_node, sliver=sink.sliver)
+    client = IperfUDPClient(
+        src.phys_node, sink.tap_addr, rate_bps=RATE,
+        sliver=src.sliver, duration=DURATION, server=server,
+    ).start()
+    vini.run(until=30.0 + DURATION + 2.0)
+    result = client.result()
+    return result.received * 1430 * 8 / DURATION / 1e6  # delivered Mb/s
+
+
+def run_all():
+    return {
+        (scheduler, loaded): run_case(scheduler, loaded)
+        for scheduler in ("fair-share", "capped")
+        for loaded in (False, True)
+    }
+
+
+def bench_ablation_nwc_scheduler(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for scheduler in ("fair-share", "capped"):
+        idle = results[(scheduler, False)]
+        busy = results[(scheduler, True)]
+        swing = abs(idle - busy) / idle * 100 if idle else 0.0
+        rows.append(
+            [scheduler, f"{idle:.1f}", f"{busy:.1f}", f"{swing:.0f}%"]
+        )
+    report = format_table(
+        "Ablation: non-work-conserving scheduler (Section 6.2)\n"
+        "delivered UDP rate for the same experiment, idle vs busy node",
+        ["scheduler", "idle substrate Mb/s", "busy substrate Mb/s", "swing"],
+        rows,
+    )
+    print("\n" + report)
+    save_report("ablation_nwc_scheduler", report)
+    fair_idle = results[("fair-share", False)]
+    fair_busy = results[("fair-share", True)]
+    cap_idle = results[("capped", False)]
+    cap_busy = results[("capped", True)]
+    benchmark.extra_info.update(
+        fair_idle=fair_idle, fair_busy=fair_busy,
+        cap_idle=cap_idle, cap_busy=cap_busy,
+    )
+    # Work-conserving swings with load; the cap holds steady.
+    fair_swing = (fair_idle - fair_busy) / fair_idle
+    cap_swing = abs(cap_idle - cap_busy) / cap_idle
+    assert fair_swing > 0.15
+    assert cap_swing < 0.10
+    assert cap_swing < fair_swing / 2
+    # The cap binds below the uncapped idle rate.
+    assert cap_idle < fair_idle

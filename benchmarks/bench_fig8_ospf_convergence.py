@@ -1,0 +1,88 @@
+"""Figure 8: OSPF route convergence on the Abilene mirror, seen by ping.
+
+Paper: ping D.C. -> Seattle at 1 Hz. RTT sits at 76 ms on the default
+path (via New York/Chicago/Indianapolis/Kansas City/Denver). The
+Denver--Kansas City virtual link fails at t=10 s; ~7 s later (hello
+5 s / dead 10 s) OSPF briefly finds a 110 ms path before settling on
+the 93 ms route via Atlanta/Houston/LA/Sunnyvale. The link recovers at
+t=34 s and the RTT returns to 76 ms a few seconds later.
+"""
+
+from benchmarks.common import format_table, save_report
+from repro.tools import Ping
+from repro.topologies import build_abilene_iias
+
+WARMUP = 40.0
+FAIL_AT = 10.0
+RECOVER_AT = 34.0
+END_AT = 55.0
+PING_INTERVAL = 0.25  # denser than the paper's 1 Hz, to catch transients
+
+
+def run_fig8(seed: int = 8):
+    vini, exp = build_abilene_iias(seed=seed)
+    exp.run(until=WARMUP)
+    washington = exp.network.nodes["washington"]
+    seattle = exp.network.nodes["seattle"]
+    exp.fail_link_at(WARMUP + FAIL_AT, "denver", "kansascity")
+    exp.recover_link_at(WARMUP + RECOVER_AT, "denver", "kansascity")
+    ping = Ping(
+        washington.phys_node, seattle.tap_addr, sliver=washington.sliver,
+        interval=PING_INTERVAL, count=int(END_AT / PING_INTERVAL),
+    ).start()
+    vini.run(until=WARMUP + END_AT + 2.0)
+    series = [(t - WARMUP, rtt) for t, rtt in ping.rtt_series()]
+    return series, ping.transmitted, ping.received
+
+
+def bench_fig8_ospf_convergence(benchmark):
+    series, transmitted, received = benchmark.pedantic(
+        run_fig8, rounds=1, iterations=1
+    )
+    phases = {
+        "before failure (t<10)": [r for t, r in series if t < FAIL_AT],
+        "after reroute": [r for t, r in series if 20.0 < t < RECOVER_AT],
+        "after recovery (t>40)": [r for t, r in series if t > 40.0],
+    }
+    rows = []
+    paper = {
+        "before failure (t<10)": "76",
+        "after reroute": "93",
+        "after recovery (t>40)": "76",
+    }
+    for label, rtts in phases.items():
+        mean = sum(rtts) / len(rtts) * 1e3 if rtts else float("nan")
+        rows.append([label, paper[label], f"{mean:.1f}"])
+    # Outage: gap in replies after the failure.
+    reply_times = sorted(t for t, _r in series)
+    gaps = [
+        (t1, t2 - t1) for t1, t2 in zip(reply_times, reply_times[1:])
+        if t2 - t1 > 1.0
+    ]
+    outage = max((gap for _t, gap in gaps), default=0.0)
+    rows.append(["outage duration", "~8 s", f"{outage:.1f} s"])
+    report = format_table(
+        "Figure 8: ping RTT during OSPF convergence (D.C. -> Seattle, ms)",
+        ["phase", "paper", "measured"],
+        rows,
+    )
+    lines = [report, "", "RTT series (t seconds, RTT ms):"]
+    for t, rtt in series:
+        lines.append(f"  {t:6.2f}  {rtt * 1e3:7.2f}")
+    print("\n" + report)
+    save_report("fig8_ospf_convergence", "\n".join(lines))
+    before = phases["before failure (t<10)"]
+    during = phases["after reroute"]
+    after = phases["after recovery (t>40)"]
+    benchmark.extra_info.update(
+        rtt_before_ms=sum(before) / len(before) * 1e3,
+        rtt_during_ms=sum(during) / len(during) * 1e3,
+        outage_s=outage,
+    )
+    # Shape assertions: the three RTT plateaus and the detection delay.
+    assert 0.070 < sum(before) / len(before) < 0.082
+    assert 0.086 < sum(during) / len(during) < 0.105
+    assert 0.070 < sum(after) / len(after) < 0.082
+    # OSPF repairs within hello-based detection (paper: ~7-8 s).
+    assert 4.0 < outage < 12.0
+    assert transmitted - received >= 3  # probes lost during the outage

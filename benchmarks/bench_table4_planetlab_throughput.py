@@ -1,0 +1,106 @@
+"""Table 4: TCP throughput on PlanetLab (Chicago -> Washington via NY).
+
+Paper (Mb/s, stddev over 10 runs; CPU% of the Click process):
+    Network:            90.8 (0.53)          (kernel path, no Click)
+    IIAS on PlanetLab:  22.5 (4.01)  13% CPU (default fair share)
+    IIAS on PL-VINI:    86.2 (0.64)  40% CPU (25% reservation + RT)
+
+Shape: contention collapses default-share IIAS to a small fraction of
+the network rate and makes it highly variable; the PL-VINI knobs
+recover near-network throughput with modest CPU.
+"""
+
+from benchmarks.common import (
+    build_planetlab_world,
+    format_table,
+    mean_std,
+    overlay_endpoints,
+    save_report,
+)
+from repro.tools import IperfTCPClient, IperfTCPServer
+
+DURATION = 4.0
+STREAMS = 20
+RUNS = 3
+
+
+def run_once(config: str, seed: int):
+    world = build_planetlab_world(config, seed=seed)
+    (src_sliver, _src_addr), (sink_sliver, sink_addr) = overlay_endpoints(world)
+    fwdr = world.vini.nodes["newyork"]
+    if world.exp is not None:
+        click_process = world.exp.network.nodes["newyork"].click_process
+        cpu_before = click_process.cpu_used
+    else:
+        click_process = None
+        cpu_before = 0.0
+    server = IperfTCPServer(world.sink, sliver=sink_sliver)
+    client = IperfTCPClient(
+        world.src,
+        sink_addr,
+        sliver=src_sliver,
+        streams=STREAMS,
+        duration=DURATION,
+        server=server,
+    ).start()
+    start = world.vini.sim.now
+    world.vini.run(until=start + DURATION + 1.0)
+    mbps = client.result().throughput_mbps
+    cpu = (
+        100.0 * (click_process.cpu_used - cpu_before) / DURATION
+        if click_process is not None
+        else float("nan")
+    )
+    return mbps, cpu
+
+
+def run_table4():
+    results = {}
+    for config in ("network", "planetlab", "plvini"):
+        rates, cpus = [], []
+        for run in range(RUNS):
+            mbps, cpu = run_once(config, seed=100 * run + 7)
+            rates.append(mbps)
+            cpus.append(cpu)
+        mean, std = mean_std(rates)
+        results[config] = (mean, std, sum(cpus) / len(cpus))
+    return results
+
+
+def bench_table4_planetlab_throughput(benchmark):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    paper = {
+        "network": ("90.8", "0.53", "n/a"),
+        "planetlab": ("22.5", "4.01", "13"),
+        "plvini": ("86.2", "0.64", "40"),
+    }
+    labels = {
+        "network": "Network",
+        "planetlab": "IIAS on PlanetLab",
+        "plvini": "IIAS on PL-VINI",
+    }
+    rows = []
+    for config in ("network", "planetlab", "plvini"):
+        mean, std, cpu = results[config]
+        p_mean, p_std, p_cpu = paper[config]
+        cpu_text = f"{cpu:.0f}" if cpu == cpu else "n/a"  # NaN check
+        rows.append(
+            [labels[config], p_mean, f"{mean:.1f}", p_std, f"{std:.2f}", p_cpu, cpu_text]
+        )
+    report = format_table(
+        f"Table 4: TCP throughput on PlanetLab ({STREAMS} streams, {RUNS} runs)",
+        ["config", "paper Mb/s", "Mb/s", "paper sd", "sd", "paper CPU%", "CPU%"],
+        rows,
+    )
+    print("\n" + report)
+    save_report("table4_planetlab_throughput", report)
+    net = results["network"][0]
+    pl = results["planetlab"][0]
+    plvini = results["plvini"][0]
+    benchmark.extra_info.update(network=net, planetlab=pl, plvini=plvini)
+    # Shape: who wins and by roughly what factor.
+    assert net > 70.0
+    assert pl < net / 2.5  # contention collapse
+    assert plvini > pl * 2.0  # the PL-VINI knobs recover a big factor
+    assert plvini > net * 0.7  # ... to near-network rate
+    assert results["planetlab"][2] < 35.0  # starved Click CPU share

@@ -1,0 +1,85 @@
+"""Table 6: UDP jitter on PlanetLab (units: ms).
+
+Paper (jitter across CBR streams, 1-50 Mb/s):
+    Network:            0.27 (sd 0.16)
+    IIAS on PlanetLab:  2.4  (sd 3.7)
+    IIAS on PL-VINI:    1.3  (sd 0.9)
+
+Shape: running IIAS on PL-VINI roughly halves mean jitter relative to
+the default share and collapses its variance, while remaining above
+the bare network.
+"""
+
+from benchmarks.common import (
+    build_planetlab_world,
+    format_table,
+    mean_std,
+    overlay_endpoints,
+    save_report,
+)
+from repro.tools import IperfUDPClient, IperfUDPServer
+
+RATES = [1e6, 5e6, 10e6, 20e6, 30e6, 40e6, 50e6]
+DURATION = 3.0
+
+
+def run_config(config: str, seed: int = 23):
+    jitters = []
+    for index, rate in enumerate(RATES):
+        world = build_planetlab_world(config, seed=seed + index)
+        (src_sliver, _), (sink_sliver, sink_addr) = overlay_endpoints(world)
+        server = IperfUDPServer(world.sink, sliver=sink_sliver)
+        client = IperfUDPClient(
+            world.src, sink_addr, rate_bps=rate, sliver=src_sliver,
+            duration=DURATION, server=server,
+        ).start()
+        start = world.vini.sim.now
+        world.vini.run(until=start + DURATION + 2.0)
+        jitters.append(client.result().jitter)
+    return jitters
+
+
+def run_table6():
+    return {
+        config: run_config(config)
+        for config in ("network", "planetlab", "plvini")
+    }
+
+
+def bench_table6_planetlab_jitter(benchmark):
+    results = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    paper = {"network": ("0.27", "0.16"), "planetlab": ("2.4", "3.7"),
+             "plvini": ("1.3", "0.9")}
+    labels = {
+        "network": "Network",
+        "planetlab": "IIAS on PlanetLab",
+        "plvini": "IIAS on PL-VINI",
+    }
+    rows = []
+    stats = {}
+    for config in ("network", "planetlab", "plvini"):
+        mean, std = mean_std([j * 1e3 for j in results[config]])
+        stats[config] = (mean, std)
+        rows.append(
+            [labels[config], paper[config][0], f"{mean:.2f}",
+             paper[config][1], f"{std:.2f}"]
+        )
+    report = format_table(
+        "Table 6: UDP jitter on PlanetLab (CBR streams 1-50 Mb/s, ms)",
+        ["config", "paper mean", "mean", "paper sd", "sd"],
+        rows,
+    )
+    print("\n" + report)
+    save_report("table6_planetlab_jitter", report)
+    benchmark.extra_info.update(
+        network=stats["network"][0],
+        planetlab=stats["planetlab"][0],
+        plvini=stats["plvini"][0],
+    )
+    # Shape: network < plvini < planetlab (the default share is the
+    # worst by a wide margin; the PL-VINI knobs pull jitter most of the
+    # way back toward the bare network).
+    assert stats["planetlab"][0] > stats["plvini"][0]
+    assert stats["planetlab"][0] > 1.5 * stats["network"][0]
+    assert stats["plvini"][0] < stats["planetlab"][0] * 0.8
+    assert stats["planetlab"][1] >= stats["plvini"][1]

@@ -1,0 +1,176 @@
+"""Shared machinery for the reproduction benches.
+
+Every bench regenerates one table or figure from the paper's Section 5
+(plus the ablations DESIGN.md calls out). The helpers here build the
+paper's two experimental settings:
+
+* the DETER microbenchmark world (Src--Fwdr--Sink, Section 5.1.1);
+* the PlanetLab microbenchmark world (Chicago--NewYork--Washington
+  slice of Abilene, Section 5.1.2), with contending-slice background
+  load and the three configurations the paper compares: "Network"
+  (kernel forwarding), "IIAS on PlanetLab" (default fair share), and
+  "IIAS on PL-VINI" (25 % CPU reservation + real-time priority);
+
+and provide result formatting + persistence under benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import VINI, Experiment
+from repro.phys.load import CPUHog
+from repro.topologies.abilene import ABILENE_LINKS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Fig. 5: Chicago --(RTT 20.2ms)-- New York --(RTT 4.5ms)-- Washington.
+PLANETLAB_POPS = [
+    ("chicago", "newyork", ABILENE_LINKS[("chicago", "newyork")]),
+    ("newyork", "washington", ABILENE_LINKS[("newyork", "washington")]),
+]
+ACCESS_BW = 100e6  # 100 Mb/s PlanetLab node Ethernet
+
+
+def save_report(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def format_table(title: str, headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# PlanetLab-style background load (Section 5.1.2's "other users")
+# ----------------------------------------------------------------------
+def add_planetlab_load(
+    node,
+    n_hogs: int = 7,
+    quantum: float = 0.0005,
+    heavy_tail_prob: float = 0.006,
+    heavy_tail_max: float = 0.045,
+    duty_cycle: float = 1.0,
+) -> List[CPUHog]:
+    """Emulate a busy PlanetLab node: several contending slices.
+
+    Seven mostly-busy slices give a default-share slice roughly 1/8 of
+    the CPU; occasional long non-preemptible chunks produce the tens-
+    of-milliseconds latency outliers of Table 5.
+    """
+    hogs = []
+    for index in range(n_hogs):
+        hog = CPUHog(
+            node,
+            name=f"slice{index}",
+            quantum=quantum,
+            heavy_tail_prob=heavy_tail_prob,
+            heavy_tail_max=heavy_tail_max,
+            duty_cycle=duty_cycle,
+        )
+        hogs.append(hog.start())
+    return hogs
+
+
+# ----------------------------------------------------------------------
+# World builders
+# ----------------------------------------------------------------------
+@dataclass
+class PlanetLabWorld:
+    """The Section 5.1.2 setting, in one of the paper's three configs."""
+
+    vini: VINI
+    exp: Optional[Experiment]  # None for the "Network" configuration
+    hogs: List[CPUHog]
+    config: str  # "network" | "planetlab" | "plvini"
+
+    @property
+    def src(self):
+        return self.vini.nodes["chicago"]
+
+    @property
+    def sink(self):
+        return self.vini.nodes["washington"]
+
+
+def build_planetlab_world(
+    config: str,
+    seed: int = 0,
+    loaded: bool = True,
+    warmup: float = 30.0,
+) -> PlanetLabWorld:
+    """Build the Chicago--NY--Washington world in a given configuration.
+
+    config:
+        ``"network"`` — no overlay, kernel forwarding end to end;
+        ``"planetlab"`` — IIAS in a default fair-share slice;
+        ``"plvini"`` — IIAS with 25 % CPU reservation + RT priority.
+    """
+    if config not in ("network", "planetlab", "plvini"):
+        raise ValueError(f"unknown config {config!r}")
+    vini = VINI(seed=seed)
+    for name in ("chicago", "newyork", "washington"):
+        vini.add_node(name)
+    for a, b, delay in PLANETLAB_POPS:
+        vini.connect(a, b, bandwidth=ACCESS_BW, delay=delay,
+                     queue_bytes=256 * 1024)
+    vini.install_underlay_routes()
+    exp = None
+    if config != "network":
+        exp = Experiment(
+            vini,
+            "iias",
+            cpu_reservation=0.25 if config == "plvini" else 0.0,
+            realtime=(config == "plvini"),
+        )
+        for name in ("chicago", "newyork", "washington"):
+            exp.add_node(name, name)
+        exp.connect("chicago", "newyork")
+        exp.connect("newyork", "washington")
+        exp.configure_ospf(hello_interval=5.0, dead_interval=10.0)
+        exp.start()
+    hogs = []
+    if loaded:
+        for node in vini.nodes.values():
+            hogs.extend(add_planetlab_load(node))
+    vini.run(until=warmup)
+    return PlanetLabWorld(vini, exp, hogs, config)
+
+
+def overlay_endpoints(world: PlanetLabWorld):
+    """(src sliver/addr, sink sliver/addr) for the measurement tools."""
+    if world.exp is None:
+        return (None, world.src.address), (None, world.sink.address)
+    src_vnode = world.exp.network.nodes["chicago"]
+    sink_vnode = world.exp.network.nodes["washington"]
+    return (
+        (src_vnode.sliver, src_vnode.tap_addr),
+        (sink_vnode.sliver, sink_vnode.tap_addr),
+    )
+
+
+def mean_std(values: List[float]) -> Tuple[float, float]:
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, var ** 0.5
+
+
+def cpu_percent(process, duration: float, since: float = 0.0) -> float:
+    """Mean CPU% of a process over the measurement window."""
+    return 100.0 * (process.cpu_used - since) / duration if duration > 0 else 0.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Controlled flash crowds (the other event type of Section 1).
+
+A service runs on one virtual node of an overlay star. At a scheduled
+time, a crowd of senders across the other nodes converges on it for a
+few seconds. A background ping measures how the overlay's service
+degrades during the crowd and recovers afterwards — a controlled
+experiment on an event that, in the wild, you would have to wait for.
+
+Run:  python examples/flash_crowd.py
+"""
+
+from repro.core import VINI, Experiment
+from repro.tools import FlashCrowd, Ping
+from repro.topologies import build_star
+
+# A star overlay: hub + 4 leaves, virtual links shaped to 20 Mb/s so
+# the crowd actually hurts.
+vini, exp = build_star(4, bandwidth=100e6, delay=0.005, seed=13,
+                       name="crowd-demo")
+for vlink in exp.network.links:
+    vlink.bandwidth = None  # keep links unshaped; the hub CPU is the choke
+exp.configure_ospf(hello_interval=2.0, dead_interval=6.0)
+exp.run(until=20.0)
+
+hub = exp.network.nodes["hub"]
+leaves = [exp.network.nodes[f"leaf{i}"] for i in range(4)]
+
+# The "service": a UDP sink on the hub's overlay address.
+service_proc = hub.sliver.create_process("service")
+service = hub.phys_node.udp_socket(
+    service_proc, port=9000, local_addr=hub.tap_addr, rcvbuf=256 * 1024
+)
+served = []
+service.on_receive = lambda pkt, src, sport: served.append(vini.sim.now)
+
+# Background probe: leaf0 pings the hub throughout.
+probe = Ping(leaves[0].phys_node, hub.tap_addr, sliver=leaves[0].sliver,
+             interval=0.25, count=200).start()
+
+# The crowd: 12 senders spread over leaves 1-3, 25 Mb/s each (300 Mb/s
+# aggregate -- far beyond the hub Click's user-space forwarding capacity).
+crowd = FlashCrowd(
+    [leaf.phys_node for leaf in leaves[1:]],
+    hub.tap_addr, 9000,
+    n_sources=12, rate_bps=25e6,
+    slivers=[leaf.sliver for leaf in leaves[1:]],
+)
+crowd.schedule(start=vini.sim.now + 10.0, duration=5.0)
+start = vini.sim.now
+vini.run(until=start + 30.0)
+
+print(f"crowd sent {crowd.sent} datagrams; service received {len(served)}")
+print(f"({crowd.sent - len(served)} lost at the hub under overload)")
+print()
+print("ping RTT leaf0 -> hub (ms), crowd active t=10..15:")
+for t, rtt in probe.rtt_series():
+    offset = t - start
+    bar = "#" * min(60, int(rtt * 1e3 / 2))
+    if 0 <= offset <= 30:
+        print(f"  t={offset:5.1f}s  {rtt * 1e3:8.2f}  |{bar}")
+phases = {
+    "before": [r for t, r in probe.rtt_series() if t - start < 10],
+    "during": [r for t, r in probe.rtt_series() if 10 <= t - start < 15],
+    "after": [r for t, r in probe.rtt_series() if t - start >= 15.5],
+}
+print()
+for name, rtts in phases.items():
+    if rtts:
+        print(f"  {name:7s} mean RTT: {sum(rtts) / len(rtts) * 1e3:7.2f} ms "
+              f"({len(rtts)} probes)")
+lost = probe.transmitted - probe.received
+print(f"  probes lost: {lost}")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Simultaneous experiments on one substrate (Section 3.4).
+
+Two research groups share the same four physical nodes. Experiment
+"ring" runs a ring virtual topology; experiment "hub" runs a star that
+has no physical counterpart. Each gets its own tunnels (VNET keeps the
+port spaces apart), its own Click FIBs, and its own OSPF processes —
+and a CPU hog in one slice cannot capsize the other when it reserves
+CPU and real-time priority.
+
+Run:  python examples/simultaneous_experiments.py
+"""
+
+from repro.core import VINI, Experiment
+from repro.phys.load import CPUHog
+from repro.tools import Ping
+
+vini = VINI(seed=11)
+names = ["p0", "p1", "p2", "p3"]
+for name in names:
+    vini.add_node(name)
+for a, b in [("p0", "p1"), ("p1", "p2"), ("p2", "p3"), ("p3", "p0")]:
+    vini.connect(a, b, delay=0.005)
+vini.install_underlay_routes()
+
+# Experiment 1: a ring, default fair-share slice.
+ring = Experiment(vini, "ring")
+for name in names:
+    ring.add_node(name, name)
+for a, b in [("p0", "p1"), ("p1", "p2"), ("p2", "p3"), ("p3", "p0")]:
+    ring.connect(a, b)
+ring.configure_ospf(hello_interval=2.0, dead_interval=6.0)
+
+# Experiment 2: a star centered on p0 — a topology the physical
+# network does not have (virtual links p0-p2 ride two physical hops).
+hub = Experiment(vini, "hub", cpu_reservation=0.25, realtime=True)
+for name in names:
+    hub.add_node(name, name)
+for leaf in names[1:]:
+    hub.connect("p0", leaf, map_physical=False)
+hub.configure_ospf(hello_interval=2.0, dead_interval=6.0)
+
+ring.start()
+hub.start()
+vini.run(until=20.0)
+
+r0, r2 = ring.network.nodes["p0"], ring.network.nodes["p2"]
+h0, h2 = hub.network.nodes["p0"], hub.network.nodes["p2"]
+print("ring: p0 -> p2 goes", ring.network.nodes["p0"].xorp.rib.lookup(r2.tap_addr).ifname,
+      "(two hops around the ring)")
+print("hub:  p0 -> p2 goes", hub.network.nodes["p0"].xorp.rib.lookup(h2.tap_addr).ifname,
+      "(one virtual hop, despite two physical hops)")
+
+# Load up every node with background slices, then compare behavior.
+for node in vini.nodes.values():
+    for index in range(5):
+        CPUHog(node, name=f"other{index}").start()
+
+ping_ring = Ping(r0.phys_node, r2.tap_addr, sliver=r0.sliver,
+                 interval=0.2, count=50).start()
+ping_hub = Ping(h0.phys_node, h2.tap_addr, sliver=h0.sliver,
+                interval=0.2, count=50).start()
+vini.run(until=40.0)
+
+print()
+print("under 5 contending slices per node:")
+print(f"  ring (default share):        {ping_ring.stats()}")
+print(f"  hub (25% reservation + RT):  {ping_hub.stats()}")
+print()
+print("The reserved, real-time slice keeps tight RTTs; the fair-share")
+print("slice eats scheduling latency from its neighbors - exactly the")
+print("PlanetLab effect Table 5 of the paper quantifies.")

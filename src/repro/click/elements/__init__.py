@@ -1,0 +1,1 @@
+"""Click element library (see repro.click for the public surface)."""

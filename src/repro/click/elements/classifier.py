@@ -1,0 +1,96 @@
+"""IPClassifier: pattern-matching demultiplexer.
+
+Supports the subset of Click's IPClassifier pattern language that the
+IIAS configurations need::
+
+    proto udp            match the IP protocol
+    proto tcp
+    proto icmp
+    udp dport 5000       protocol + destination port
+    tcp sport 179        protocol + source port
+    dst 10.0.0.0/8       destination inside a prefix
+    src 10.1.2.3         source address (a /32)
+    -                    match everything (usually the last pattern)
+
+Multiple clauses in one pattern are ANDed: ``"proto udp dst 10.0.0.0/8"``.
+The packet leaves on the output port of the first matching pattern;
+non-matching packets are dropped (like Click, where an unmatched packet
+is discarded unless a ``-`` catch-all is given).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.click.element import Element
+from repro.net.addr import prefix
+from repro.net.packet import Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+_PROTO_NAMES = {"udp": PROTO_UDP, "tcp": PROTO_TCP, "icmp": PROTO_ICMP, "ospf": 89}
+
+
+def _compile(pattern: str) -> Callable[[Packet], bool]:
+    pattern = pattern.strip()
+    if pattern == "-":
+        return lambda packet: True
+    tokens = pattern.split()
+    checks: List[Callable[[Packet], bool]] = []
+    index = 0
+    while index < len(tokens):
+        word = tokens[index]
+        if word == "proto":
+            proto = _PROTO_NAMES.get(tokens[index + 1])
+            if proto is None:
+                proto = int(tokens[index + 1])
+            checks.append(lambda p, proto=proto: p.ip is not None and p.ip.proto == proto)
+            index += 2
+        elif word in _PROTO_NAMES and index + 2 <= len(tokens) - 1 and tokens[index + 1] in ("dport", "sport"):
+            proto = _PROTO_NAMES[word]
+            field = tokens[index + 1]
+            port = int(tokens[index + 2])
+            def check(p, proto=proto, field=field, port=port):
+                if p.ip is None or p.ip.proto != proto:
+                    return False
+                transport = p.tcp if proto == PROTO_TCP else p.udp
+                if transport is None:
+                    return False
+                return getattr(transport, field) == port
+            checks.append(check)
+            index += 3
+        elif word in _PROTO_NAMES:
+            proto = _PROTO_NAMES[word]
+            checks.append(lambda p, proto=proto: p.ip is not None and p.ip.proto == proto)
+            index += 1
+        elif word in ("dst", "src"):
+            pfx = prefix(tokens[index + 1])
+            attr = word
+            checks.append(
+                lambda p, pfx=pfx, attr=attr: p.ip is not None
+                and getattr(p.ip, attr) in pfx
+            )
+            index += 2
+        else:
+            raise ValueError(f"unrecognized classifier token {word!r} in {pattern!r}")
+    if not checks:
+        raise ValueError(f"empty classifier pattern {pattern!r}")
+    return lambda packet: all(check(packet) for check in checks)
+
+
+class IPClassifier(Element):
+    """Route packets to the port of their first matching pattern."""
+
+    def __init__(self, *patterns: str):
+        if not patterns:
+            raise ValueError("IPClassifier needs at least one pattern")
+        super().__init__(n_outputs=len(patterns))
+        self.patterns = patterns
+        self._matchers = [_compile(p) for p in patterns]
+        self.unmatched = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        for index, matcher in enumerate(self._matchers):
+            if matcher(packet):
+                self.output(index).push(packet)
+                return
+        self.unmatched += 1
+        self.router.trace_drop(packet, "classifier_unmatched")

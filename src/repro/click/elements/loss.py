@@ -1,0 +1,45 @@
+"""Controlled loss injection.
+
+Section 5.2: "we 'fail' the link by dropping packets within Click on
+the virtual link (UDP tunnel) connecting two Abilene nodes." This
+element is that mechanism — insert it in front of a tunnel, and calling
+:meth:`fail` makes the virtual link silently black-hole traffic, which
+is what lets OSPF's dead-interval machinery detect the failure.
+"""
+
+from __future__ import annotations
+
+from repro.click.element import Element
+from repro.net.packet import Packet
+
+
+class LossElement(Element):
+    """Drops packets: all of them when failed, else with probability p."""
+
+    def __init__(self, drop_prob: float = 0.0, rng_stream: str = "click.loss"):
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob!r}")
+        super().__init__(n_outputs=1)
+        self.drop_prob = drop_prob
+        self.rng_stream = rng_stream
+        self.failed = False
+        self.dropped = 0
+        self.passed = 0
+
+    def fail(self) -> None:
+        """Black-hole everything (a virtual link failure)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def push(self, port: int, packet: Packet) -> None:
+        if self.failed:
+            self.dropped += 1
+            return
+        if self.drop_prob > 0.0:
+            if self.router.sim.rng(self.rng_stream).random() < self.drop_prob:
+                self.dropped += 1
+                return
+        self.passed += 1
+        self.output(0).push(packet)

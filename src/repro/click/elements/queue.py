@@ -1,0 +1,127 @@
+"""Queue and Shaper elements.
+
+Section 6.2 plans "support for setting link bandwidths, either via
+configuration of traffic shapers in Click, or in the kernel itself" —
+these elements are that support. A :class:`Shaper` placed in front of a
+tunnel makes a virtual link behave like a slower physical circuit
+(token-bucket paced, drop-tail queue), which the virtual-network layer
+uses to give virtual links their own capacities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.click.element import Element
+from repro.net.packet import Packet
+
+
+class Queue(Element):
+    """A drop-tail FIFO; downstream elements pull via :meth:`pop`."""
+
+    def __init__(self, capacity: int = 1000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        super().__init__(n_outputs=1)
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self.drops = 0
+        self.highwater = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            self.router.trace_drop(packet, "queue_full")
+            return
+        self._queue.append(packet)
+        self.highwater = max(self.highwater, len(self._queue))
+
+    def pop(self) -> Optional[Packet]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class Shaper(Element):
+    """Token-bucket pacing to ``rate`` bits/s with a drop-tail queue.
+
+    Packets that arrive while the shaper is conforming pass straight
+    through; bursts beyond the bucket are queued and released on
+    schedule; overflow is dropped.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst_bytes: int = 3000,
+        queue_bytes: int = 128 * 1024,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        super().__init__(n_outputs=1)
+        self.rate = rate
+        self.burst_bytes = burst_bytes
+        self.queue_bytes = queue_bytes
+        self.tokens = float(burst_bytes)
+        self._stamp = 0.0
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._pending = False
+        self.drops = 0
+
+    def _refill(self) -> None:
+        now = self.router.sim.now
+        self.tokens = min(
+            float(self.burst_bytes),
+            self.tokens + self.rate / 8.0 * (now - self._stamp),
+        )
+        self._stamp = now
+
+    def _need(self, packet: Packet) -> float:
+        """Tokens required before ``packet`` may leave.
+
+        A packet larger than the bucket can never accumulate its full
+        size in tokens; it departs once the bucket is full and debits
+        the bucket below zero (long-run rate stays correct).
+        """
+        return min(float(packet.wire_len), float(self.burst_bytes))
+
+    def push(self, port: int, packet: Packet) -> None:
+        self._refill()
+        size = packet.wire_len
+        if not self._queue and self.tokens >= self._need(packet):
+            self.tokens -= size
+            self.output(0).push(packet)
+            return
+        if self._queued_bytes + size > self.queue_bytes:
+            self.drops += 1
+            self.router.trace_drop(packet, "shaper_overflow")
+            return
+        self._queue.append(packet)
+        self._queued_bytes += size
+        self._schedule()
+
+    def _schedule(self) -> None:
+        if self._pending or not self._queue:
+            return
+        self._refill()
+        need = self._need(self._queue[0]) - self.tokens
+        delay = max(need, 0.0) / (self.rate / 8.0)
+        self._pending = True
+        self.router.sim.at(delay, self._release)
+
+    def _release(self) -> None:
+        self._pending = False
+        self._refill()
+        while self._queue and self.tokens >= self._need(self._queue[0]):
+            packet = self._queue.popleft()
+            self._queued_bytes -= packet.wire_len
+            self.tokens -= packet.wire_len
+            self.output(0).push(packet)
+        self._schedule()
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._queued_bytes

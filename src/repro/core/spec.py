@@ -1,0 +1,204 @@
+"""Declarative experiment specifications (Section 6.2).
+
+"We envision that VINI experiments would be specified using the same
+type of syntax that is used to construct ns or Emulab experiments, so
+that researchers can move an experiment from Emulab to VINI as
+seamlessly as possible." This module is that specification layer: a
+plain-dict (JSON-able) schema describing the physical substrate, the
+virtual topology, the routing configuration, isolation parameters, and
+the event timetable — everything needed to reconstruct a run.
+
+Example::
+
+    SPEC = {
+        "name": "square",
+        "slice": {"cpu_reservation": 0.25, "realtime": True},
+        "physical": {
+            "nodes": ["pa", "pb", "pc", "pd"],
+            "links": [
+                {"a": "pa", "b": "pb", "delay": 0.005},
+                {"a": "pb", "b": "pd", "delay": 0.005},
+                {"a": "pa", "b": "pc", "delay": 0.005},
+                {"a": "pc", "b": "pd", "delay": 0.005},
+            ],
+        },
+        "topology": {
+            "nodes": {"a": "pa", "b": "pb", "c": "pc", "d": "pd"},
+            "links": [
+                {"a": "a", "b": "b"},
+                {"a": "b", "b": "d"},
+                {"a": "a", "b": "c", "cost": 3},
+                {"a": "c", "b": "d", "cost": 3},
+            ],
+        },
+        "routing": {"protocol": "ospf", "hello_interval": 5.0,
+                    "dead_interval": 10.0},
+        "upcalls": False,
+        "events": [
+            {"time": 10.0, "action": "fail_link", "args": ["a", "b"]},
+            {"time": 34.0, "action": "recover_link", "args": ["a", "b"]},
+        ],
+    }
+
+``build_experiment(SPEC)`` returns a ready (vini, experiment) pair, and
+``experiment_spec(exp)`` round-trips a programmatically built
+experiment back into this form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.experiment import Experiment
+from repro.core.infrastructure import VINI
+
+_EVENT_ACTIONS = {
+    "fail_link": "fail_link_at",
+    "recover_link": "recover_link_at",
+    "fail_physical": "fail_physical_at",
+    "recover_physical": "recover_physical_at",
+}
+
+
+class SpecError(ValueError):
+    """The specification is malformed."""
+
+
+def build_experiment(
+    spec: Dict[str, Any], vini: Optional[VINI] = None, seed: int = 0
+) -> Tuple[VINI, Experiment]:
+    """Construct (vini, experiment) from a specification dict.
+
+    ``vini`` may be supplied (a pre-built substrate, e.g. the Abilene
+    deployment); otherwise the spec's ``physical`` section is required.
+    """
+    if vini is None:
+        physical = spec.get("physical")
+        if physical is None:
+            raise SpecError("spec has no 'physical' section and no vini given")
+        vini = VINI(seed=spec.get("seed", seed))
+        for name in physical.get("nodes", []):
+            vini.add_node(name, cpu_speed=physical.get("cpu_speed", 1.0))
+        for link in physical.get("links", []):
+            vini.connect(
+                link["a"],
+                link["b"],
+                bandwidth=link.get("bandwidth", 1e9),
+                delay=link.get("delay", 0.001),
+            )
+        vini.install_underlay_routes()
+    slice_spec = spec.get("slice", {})
+    exp = Experiment(
+        vini,
+        spec.get("name", "experiment"),
+        cpu_share=slice_spec.get("cpu_share", 1.0),
+        cpu_reservation=slice_spec.get("cpu_reservation", 0.0),
+        realtime=slice_spec.get("realtime", False),
+        cpu_cap=slice_spec.get("cpu_cap"),
+        tap_route_prefix=spec.get("tap_route_prefix", "10.0.0.0/8"),
+    )
+    topology = spec.get("topology")
+    if topology is None:
+        raise SpecError("spec has no 'topology' section")
+    for vname, pname in topology.get("nodes", {}).items():
+        exp.add_node(vname, pname)
+    for link in topology.get("links", []):
+        exp.connect(
+            link["a"],
+            link["b"],
+            cost=link.get("cost", 1),
+            bandwidth=link.get("bandwidth"),
+            map_physical=link.get("map_physical", True),
+        )
+    routing = spec.get("routing", {})
+    protocol = routing.get("protocol", "ospf")
+    if protocol == "ospf":
+        exp.configure_ospf(
+            hello_interval=routing.get("hello_interval", 10.0),
+            dead_interval=routing.get("dead_interval", 40.0),
+        )
+    elif protocol == "rip":
+        for vnode in exp.network.nodes.values():
+            vnode.xorp.configure_rip(
+                update_interval=routing.get("update_interval", 30.0),
+                timeout=routing.get("timeout", 180.0),
+            )
+    elif protocol != "none":
+        raise SpecError(f"unknown routing protocol {protocol!r}")
+    if spec.get("upcalls"):
+        exp.enable_upcalls()
+    for event in spec.get("events", []):
+        action = event.get("action")
+        method = _EVENT_ACTIONS.get(action)
+        if method is None:
+            raise SpecError(f"unknown event action {action!r}")
+        getattr(exp, method)(event["time"], *event.get("args", []))
+    return vini, exp
+
+
+def experiment_spec(exp: Experiment) -> Dict[str, Any]:
+    """Serialize an experiment back into the spec schema.
+
+    Physical topology is included so the spec is self-contained;
+    scheduled events are reproduced from the timetable labels.
+    """
+    vini = exp.vini
+    spec: Dict[str, Any] = {
+        "name": exp.name,
+        "slice": {
+            "cpu_share": exp.slice.cpu_share,
+            "cpu_reservation": exp.slice.cpu_reservation,
+            "realtime": exp.slice.realtime,
+            "cpu_cap": exp.slice.cpu_cap,
+        },
+        "physical": {
+            "nodes": sorted(vini.nodes),
+            "links": [
+                {
+                    "a": a,
+                    "b": b,
+                    "bandwidth": link.bandwidth,
+                    "delay": link.delay,
+                }
+                for (a, b), link in sorted(vini.links.items())
+            ],
+        },
+        "topology": {
+            "nodes": {
+                name: vnode.phys_node.name
+                for name, vnode in sorted(exp.network.nodes.items())
+            },
+            "links": [
+                {
+                    "a": vlink.a.name,
+                    "b": vlink.b.name,
+                    "cost": vlink.cost,
+                    "bandwidth": vlink.bandwidth,
+                }
+                for vlink in exp.network.links
+            ],
+        },
+        "events": [],
+    }
+    sample = next(iter(exp.network.nodes.values()), None)
+    if sample is not None and sample.xorp.ospf is not None:
+        spec["routing"] = {
+            "protocol": "ospf",
+            "hello_interval": sample.xorp.ospf.hello_interval,
+            "dead_interval": sample.xorp.ospf.dead_interval,
+        }
+    for event in exp.events:
+        words = event.label.split()
+        if not words:
+            continue
+        if words[0] == "fail" and "=" in words[-1]:
+            a, b = words[-1].split("=")
+            spec["events"].append(
+                {"time": event.time, "action": "fail_link", "args": [a, b]}
+            )
+        elif words[0] == "recover" and "=" in words[-1]:
+            a, b = words[-1].split("=")
+            spec["events"].append(
+                {"time": event.time, "action": "recover_link", "args": [a, b]}
+            )
+    return spec

@@ -1,0 +1,199 @@
+"""Longest-prefix-match radix trie.
+
+This is the data structure behind the Click ``RadixIPLookup`` element
+and the RIB. A path-compressed binary trie keyed on IPv4 prefixes:
+O(32) lookups independent of table size, which the FIB-lookup ablation
+bench contrasts with Click's ``LinearIPLookup``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple, Union
+
+from repro.net.addr import IPv4Address, Prefix, ip, prefix
+
+
+class _Node:
+    __slots__ = ("bits", "plen", "value", "has_value", "children")
+
+    def __init__(self, bits: int, plen: int):
+        # ``bits`` are the top ``plen`` bits of the covered prefix,
+        # stored left-aligned in a 32-bit word.
+        self.bits = bits
+        self.plen = plen
+        self.value: Any = None
+        self.has_value = False
+        self.children: List[Optional[_Node]] = [None, None]
+
+
+def _bit(value: int, index: int) -> int:
+    """Bit ``index`` counting from the most significant (0..31)."""
+    return (value >> (31 - index)) & 1
+
+
+def _common_plen(a: int, b: int, limit: int) -> int:
+    """Length of the common left-aligned bit prefix of a and b, <= limit."""
+    diff = a ^ b
+    if diff == 0:
+        return limit
+    leading = 31 - diff.bit_length() + 1
+    return min(leading, limit)
+
+
+class RadixTrie:
+    """Path-compressed binary trie mapping :class:`Prefix` to values."""
+
+    def __init__(self):
+        self._root = _Node(0, 0)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return True  # an empty table is still a table
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, pfx: Union[str, Prefix], value: Any) -> None:
+        """Insert or replace the entry for ``pfx``."""
+        pfx = prefix(pfx)
+        target_bits = int(pfx.network)
+        target_plen = pfx.plen
+        node = self._root
+        while True:
+            if node.plen == target_plen and node.bits == target_bits:
+                if not node.has_value:
+                    self._count += 1
+                node.value = value
+                node.has_value = True
+                return
+            branch = _bit(target_bits, node.plen)
+            child = node.children[branch]
+            if child is None:
+                leaf = _Node(target_bits, target_plen)
+                leaf.value = value
+                leaf.has_value = True
+                node.children[branch] = leaf
+                self._count += 1
+                return
+            shared = _common_plen(target_bits, child.bits, min(target_plen, child.plen))
+            if shared < child.plen:
+                # Split the edge at ``shared`` bits.
+                mask = (0xFFFFFFFF << (32 - shared)) & 0xFFFFFFFF if shared else 0
+                mid = _Node(child.bits & mask, shared)
+                node.children[branch] = mid
+                mid.children[_bit(child.bits, shared)] = child
+                if shared == target_plen:
+                    mid.value = value
+                    mid.has_value = True
+                    self._count += 1
+                    return
+                leaf = _Node(target_bits, target_plen)
+                leaf.value = value
+                leaf.has_value = True
+                mid.children[_bit(target_bits, shared)] = leaf
+                self._count += 1
+                return
+            node = child
+
+    def remove(self, pfx: Union[str, Prefix]) -> Any:
+        """Remove and return the value for ``pfx``; KeyError if absent.
+
+        Structural nodes are left in place (they are cheap and removal
+        churn is rare relative to lookups).
+        """
+        pfx = prefix(pfx)
+        node = self._find_exact(pfx)
+        if node is None or not node.has_value:
+            raise KeyError(str(pfx))
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._count -= 1
+        return value
+
+    def clear(self) -> None:
+        self._root = _Node(0, 0)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _find_exact(self, pfx: Prefix) -> Optional[_Node]:
+        target_bits = int(pfx.network)
+        node = self._root
+        while node is not None:
+            if node.plen > pfx.plen:
+                return None
+            if node.plen == pfx.plen:
+                return node if node.bits == target_bits else None
+            shared = _common_plen(target_bits, node.bits, node.plen)
+            if shared < node.plen:
+                return None
+            node = node.children[_bit(target_bits, node.plen)]
+        return None
+
+    def exact(self, pfx: Union[str, Prefix]) -> Any:
+        """Value stored at exactly ``pfx``; KeyError if absent."""
+        node = self._find_exact(prefix(pfx))
+        if node is None or not node.has_value:
+            raise KeyError(str(prefix(pfx)))
+        return node.value
+
+    def get(self, pfx: Union[str, Prefix], default: Any = None) -> Any:
+        try:
+            return self.exact(pfx)
+        except KeyError:
+            return default
+
+    def __contains__(self, pfx: Union[str, Prefix]) -> bool:
+        node = self._find_exact(prefix(pfx))
+        return node is not None and node.has_value
+
+    def lookup(self, addr: Union[int, str, IPv4Address]) -> Any:
+        """Longest-prefix-match for ``addr``; KeyError when no route."""
+        found = self.lookup_entry(addr)
+        if found is None:
+            raise KeyError(str(ip(addr)))
+        return found[1]
+
+    def lookup_entry(
+        self, addr: Union[int, str, IPv4Address]
+    ) -> Optional[Tuple[Prefix, Any]]:
+        """(prefix, value) of the longest match, or None."""
+        value = int(ip(addr))
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.plen:
+                mask = (0xFFFFFFFF << (32 - node.plen)) & 0xFFFFFFFF
+                if (value & mask) != node.bits:
+                    break
+            if node.has_value:
+                best = node
+            if node.plen == 32:
+                break
+            node = node.children[_bit(value, node.plen)]
+        if best is None:
+            return None
+        return Prefix(best.bits, best.plen), best.value
+
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """All (prefix, value) pairs in DFS order."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield Prefix(node.bits, node.plen), node.value
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+
+    def keys(self) -> Iterator[Prefix]:
+        for pfx, _value in self.items():
+            yield pfx
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.keys()

@@ -1,0 +1,128 @@
+"""Configuration generation: the text a real PL-VINI would install.
+
+Section 6.2: "PL-VINI's current machinery for mirroring the Abilene
+topology automatically generates the necessary XORP and Click
+configurations." These functions render a VirtualNode's live state as
+Click-language and XORP-configuration text — useful for inspection,
+documentation, and as the round-trip target of the rcc pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click import (
+    CheckIPHeader,
+    DecIPTTL,
+    EncapTable,
+    FromTap,
+    ICMPErrorElement,
+    IPClassifier,
+    LinearIPLookup,
+    LossElement,
+    NAPT,
+    Paint,
+    Queue,
+    RadixIPLookup,
+    Shaper,
+    ToTap,
+    UDPTunnel,
+    UMLSwitch,
+)
+from repro.core.virtual_network import VirtualNode
+
+
+def _element_config(element) -> str:
+    """Best-effort Click-language configuration string."""
+    if isinstance(element, UDPTunnel):
+        return f"{element.remote_addr}, {element.remote_port}, LOCAL_PORT {element.local_port}"
+    if isinstance(element, IPClassifier):
+        return ", ".join(element.patterns)
+    if isinstance(element, (RadixIPLookup, LinearIPLookup)):
+        rows = []
+        for pfx, gw, port in sorted(element.routes(), key=lambda r: str(r[0])):
+            via = str(gw) if gw is not None else "-"
+            rows.append(f"{pfx} {via} {port}")
+        return ", ".join(rows)
+    if isinstance(element, EncapTable):
+        from repro.net.addr import IPv4Address
+
+        rows = [
+            f"{IPv4Address(addr)} -> [{port}]"
+            for addr, port in sorted(element.mapping().items())
+        ]
+        return ", ".join(rows)
+    if isinstance(element, Shaper):
+        return f"{int(element.rate)}bps, BURST {element.burst_bytes}"
+    if isinstance(element, Queue):
+        return str(element.capacity)
+    if isinstance(element, Paint):
+        return repr(element.color)
+    if isinstance(element, NAPT):
+        return f"{element.public_addr}, PORTS {element.port_base}-{element.port_base + element.port_count - 1}"
+    if isinstance(element, ICMPErrorElement):
+        return f"{element.src}, TYPE {element.icmp_type}"
+    if isinstance(element, (FromTap, ToTap)):
+        return element.tap.name
+    if isinstance(element, LossElement):
+        return f"DROP {element.drop_prob:g}"
+    if isinstance(element, (CheckIPHeader, DecIPTTL, UMLSwitch)):
+        return ""
+    return ""
+
+
+def click_config(vnode: VirtualNode) -> str:
+    """Render the node's element graph as Click configuration text."""
+    lines: List[str] = [f"// Click configuration for IIAS node {vnode.name}"]
+    for name, element in vnode.click.elements.items():
+        config = _element_config(element)
+        lines.append(f"{name} :: {type(element).__name__}({config});")
+    lines.append("")
+    for name, element in vnode.click.elements.items():
+        for index, port in enumerate(element.outputs):
+            if port.target is None:
+                continue
+            target_name = getattr(port.target, "name", type(port.target).__name__)
+            lines.append(f"{name} [{index}] -> [{port.target_port}] {target_name};")
+    return "\n".join(lines) + "\n"
+
+
+def xorp_config(vnode: VirtualNode) -> str:
+    """Render the node's routing configuration as XORP config text."""
+    lines: List[str] = [f"/* XORP configuration for IIAS node {vnode.name} */"]
+    lines.append("interfaces {")
+    for iface in vnode.interfaces.values():
+        lines.append(f"    interface {iface.name} {{")
+        lines.append(f"        vif {iface.name} {{")
+        lines.append(
+            f"            address {iface.address} {{ prefix-length: {iface.prefix.plen} }}"
+        )
+        lines.append("        }")
+        lines.append("    }")
+    lines.append("}")
+    ospf = vnode.xorp.ospf
+    if ospf is not None:
+        from repro.net.addr import IPv4Address
+
+        lines.append("protocols {")
+        lines.append("    ospf4 {")
+        lines.append(f"        router-id: {IPv4Address(ospf.router_id)}")
+        lines.append("        area 0.0.0.0 {")
+        for iface in ospf.enabled_ifaces.values():
+            lines.append(f"            interface {iface.name} {{")
+            lines.append(f"                vif {iface.name} {{")
+            lines.append(
+                f"                    address {iface.address} {{ metric: {iface.cost} }}"
+            )
+            lines.append(
+                f"                    hello-interval: {int(ospf.hello_interval)}"
+            )
+            lines.append(
+                f"                    router-dead-interval: {int(ospf.dead_interval)}"
+            )
+            lines.append("                }")
+            lines.append("            }")
+        lines.append("        }")
+        lines.append("    }")
+        lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,28 @@
+"""Physical substrate: nodes, CPUs, links, NICs, slices.
+
+The paper's substrate is real hardware (PlanetLab servers, DETER
+machines, Abilene circuits). Here it is a calibrated simulation: each
+:class:`PhysicalNode` has a CPU with a PlanetLab-style proportional
+share scheduler (plus reservations and real-time priority -- the two
+PL-VINI knobs of Section 4.1.2), NICs attached to bandwidth/delay/queue
+links, a kernel IP stack with sockets, and VServer-style slices with
+VNET port isolation.
+"""
+
+from repro.phys.cpu import CPUScheduler
+from repro.phys.link import Link
+from repro.phys.load import CPUHog
+from repro.phys.node import Interface, PhysicalNode
+from repro.phys.process import Process
+from repro.phys.vserver import Slice, Sliver
+
+__all__ = [
+    "CPUHog",
+    "CPUScheduler",
+    "Interface",
+    "Link",
+    "PhysicalNode",
+    "Process",
+    "Slice",
+    "Sliver",
+]

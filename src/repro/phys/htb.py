@@ -1,0 +1,194 @@
+"""Hierarchical token bucket (HTB) egress scheduler.
+
+PlanetLab uses the Linux HTB queueing discipline to give each slice
+"fair share access to, and minimum rate guarantees for, outgoing
+network bandwidth" (Section 4.1.1). This is a two-level HTB: a root
+class pacing the physical line rate, and one child class per slice with
+an assured rate and a ceiling. Children that stay under their assured
+rate send with priority; children over their rate may borrow idle
+bandwidth up to their ceiling, deficit-round-robin style.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class HTBClass:
+    """One child class (typically: one slice)."""
+
+    __slots__ = (
+        "name",
+        "rate",
+        "ceil",
+        "burst",
+        "tokens",
+        "ctokens",
+        "stamp",
+        "queue",
+        "queued_bytes",
+        "queue_limit",
+        "tx_bytes",
+        "drops",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        rate: float,
+        ceil: float,
+        burst: int = 16 * 1024,
+        queue_limit: int = 128 * 1024,
+    ):
+        if rate <= 0 or ceil < rate:
+            raise ValueError(f"need 0 < rate <= ceil, got rate={rate}, ceil={ceil}")
+        self.name = name
+        self.rate = rate  # assured rate, bits/s
+        self.ceil = ceil  # borrowing ceiling, bits/s
+        self.burst = burst  # bytes
+        self.tokens = float(burst)  # bytes of credit at assured rate
+        self.ctokens = float(burst)  # bytes of credit at ceiling rate
+        self.stamp = 0.0
+        self.queue: Deque[Packet] = deque()
+        self.queued_bytes = 0
+        self.queue_limit = queue_limit
+        self.tx_bytes = 0
+        self.drops = 0
+
+    def refill(self, now: float) -> None:
+        dt = now - self.stamp
+        if dt <= 0:
+            return
+        self.tokens = min(float(self.burst), self.tokens + self.rate / 8.0 * dt)
+        self.ctokens = min(float(self.burst), self.ctokens + self.ceil / 8.0 * dt)
+        self.stamp = now
+
+
+class HTB:
+    """Two-level HTB shaping an output of ``line_rate`` bits/s.
+
+    ``output`` is called with each packet when it is released; wire
+    serialization is modeled here (packets leave back-to-back at no more
+    than the line rate), so the output callback can hand packets
+    directly to a link or test sink.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        line_rate: float,
+        output: Callable[[Packet], None],
+    ):
+        if line_rate <= 0:
+            raise ValueError(f"line_rate must be positive, got {line_rate!r}")
+        self.sim = sim
+        self.line_rate = line_rate
+        self.output = output
+        self.classes: Dict[str, HTBClass] = {}
+        self._order: Deque[str] = deque()  # DRR order among classes
+        self._busy = False
+
+    def add_class(
+        self,
+        name: str,
+        rate: float,
+        ceil: Optional[float] = None,
+        burst: int = 16 * 1024,
+        queue_limit: int = 128 * 1024,
+    ) -> HTBClass:
+        if name in self.classes:
+            raise ValueError(f"duplicate HTB class {name!r}")
+        cls = HTBClass(
+            name,
+            rate,
+            self.line_rate if ceil is None else ceil,
+            burst=burst,
+            queue_limit=queue_limit,
+        )
+        cls.stamp = self.sim.now
+        self.classes[name] = cls
+        self._order.append(name)
+        return cls
+
+    # ------------------------------------------------------------------
+    def enqueue(self, class_name: str, packet: Packet) -> bool:
+        cls = self.classes[class_name]
+        if cls.queued_bytes + packet.wire_len > cls.queue_limit:
+            cls.drops += 1
+            self.sim.trace.log("htb_drop", cls=class_name)
+            return False
+        cls.queue.append(packet)
+        cls.queued_bytes += packet.wire_len
+        if not self._busy:
+            self._dequeue()
+        return True
+
+    # ------------------------------------------------------------------
+    def _eligible(self) -> Tuple[Optional[HTBClass], bool]:
+        """Next class to serve: (class, needs_wait).
+
+        Green classes (tokens at assured rate) are served first in DRR
+        order; otherwise yellow classes (credit at ceiling) may borrow.
+        """
+        now = self.sim.now
+        backlogged = []
+        for name in self._order:
+            cls = self.classes[name]
+            if cls.queue:
+                cls.refill(now)
+                backlogged.append(cls)
+        if not backlogged:
+            return None, False
+        for cls in backlogged:
+            if cls.tokens >= cls.queue[0].wire_len:
+                return cls, False
+        for cls in backlogged:
+            if cls.ctokens >= cls.queue[0].wire_len:
+                return cls, False
+        return None, True
+
+    def _next_ready_time(self) -> float:
+        """Earliest time any backlogged class will have ceiling credit."""
+        best = float("inf")
+        for cls in self.classes.values():
+            if not cls.queue:
+                continue
+            need = cls.queue[0].wire_len - cls.ctokens
+            wait = need / (cls.ceil / 8.0)
+            best = min(best, wait)
+        return max(best, 1e-9)
+
+    def _dequeue(self) -> None:
+        cls, needs_wait = self._eligible()
+        if cls is None:
+            if needs_wait:
+                self._busy = True
+                self.sim.at(self._next_ready_time(), self._release_wait)
+            return
+        packet = cls.queue.popleft()
+        size = packet.wire_len
+        cls.queued_bytes -= size
+        cls.tokens -= size  # may go negative: debt repaid by refill
+        cls.ctokens -= size
+        cls.tx_bytes += size
+        # Rotate DRR order so green classes share fairly.
+        self._order.rotate(-1)
+        self._busy = True
+        tx_time = size * 8 / self.line_rate
+        self.output(packet)
+        self.sim.at(tx_time, self._tx_done)
+
+    def _release_wait(self) -> None:
+        self._busy = False
+        self._dequeue()
+
+    def _tx_done(self) -> None:
+        self._busy = False
+        self._dequeue()
+
+    def backlog(self) -> int:
+        return sum(c.queued_bytes for c in self.classes.values())

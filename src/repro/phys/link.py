@@ -1,0 +1,204 @@
+"""Physical links.
+
+A :class:`Link` is a full-duplex point-to-point circuit between two
+interfaces: per-direction serialization at the link bandwidth, a fixed
+propagation delay, and a drop-tail output queue. Links can be failed
+and recovered at runtime; observers (the VINI upcall machinery of
+Section 6.1, counters, traces) are notified of state changes. A failed
+link loses its queued and in-flight packets — exactly the fate-sharing
+Section 3.1 demands ("if a physical link fails, the virtual links that
+use that physical link should see that failure").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phys.node import Interface
+
+DEFAULT_BANDWIDTH = 1_000_000_000  # 1 Gb/s
+DEFAULT_QUEUE_BYTES = 128 * 1024
+
+
+class _Channel:
+    """One direction of a link: queue -> serializer -> propagation."""
+
+    __slots__ = (
+        "sim",
+        "link",
+        "queue",
+        "queued_bytes",
+        "transmitting",
+        "in_flight",
+        "tx_packets",
+        "tx_bytes",
+        "drops",
+    )
+
+    def __init__(self, sim: Simulator, link: "Link"):
+        self.sim = sim
+        self.link = link
+        self.queue: Deque[Packet] = deque()
+        self.queued_bytes = 0
+        self.transmitting = False
+        self.in_flight: Dict[int, Event] = {}  # packet uid -> delivery event
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.drops = 0
+
+    def send(self, packet: Packet, receiver: "Interface") -> bool:
+        if not self.link.up:
+            self.drops += 1
+            self.link._trace_drop(packet, "link_down")
+            return False
+        if self.transmitting:
+            if self.queued_bytes + packet.wire_len > self.link.queue_bytes:
+                self.drops += 1
+                self.link._trace_drop(packet, "queue_overflow")
+                return False
+            self.queue.append(packet)
+            self.queued_bytes += packet.wire_len
+            return True
+        self._transmit(packet, receiver)
+        return True
+
+    def _transmit(self, packet: Packet, receiver: "Interface") -> None:
+        self.transmitting = True
+        tx_time = packet.wire_len * 8 / self.link.bandwidth
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_len
+        self.sim.at(tx_time, self._tx_done, receiver)
+        event = self.sim.at(
+            tx_time + self.link.delay, self._deliver, packet, receiver
+        )
+        self.in_flight[packet.uid] = event
+
+    def _tx_done(self, receiver: "Interface") -> None:
+        self.transmitting = False
+        if self.queue and self.link.up:
+            packet = self.queue.popleft()
+            self.queued_bytes -= packet.wire_len
+            self._transmit(packet, receiver)
+
+    def _deliver(self, packet: Packet, receiver: "Interface") -> None:
+        self.in_flight.pop(packet.uid, None)
+        receiver.receive(packet)
+
+    def flush(self) -> None:
+        """Drop everything queued and in flight (link failure)."""
+        self.drops += len(self.queue)
+        self.queue.clear()
+        self.queued_bytes = 0
+        for event in self.in_flight.values():
+            event.cancel()
+            self.drops += 1
+        self.in_flight.clear()
+
+
+class Link:
+    """A full-duplex point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        delay: float = 0.0,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        name: str = "",
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue_bytes = queue_bytes
+        self.name = name
+        self.up = True
+        self.endpoints: List["Interface"] = []
+        self.observers: List[Callable[["Link", bool], None]] = []
+        self._channels = {}  # Interface -> _Channel (keyed by sender)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, interface: "Interface") -> None:
+        if len(self.endpoints) >= 2:
+            raise ValueError(f"link {self.name or id(self)} already has 2 endpoints")
+        self.endpoints.append(interface)
+        self._channels[interface] = _Channel(self.sim, self)
+        if not self.name and len(self.endpoints) == 2:
+            a, b = self.endpoints
+            self.name = f"{a.node.name}--{b.node.name}"
+
+    def other_end(self, interface: "Interface") -> "Interface":
+        a, b = self.endpoints
+        if interface is a:
+            return b
+        if interface is b:
+            return a
+        raise ValueError(f"{interface!r} is not attached to {self.name}")
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "Interface", packet: Packet) -> bool:
+        """Send ``packet`` from ``sender`` toward the other endpoint."""
+        if len(self.endpoints) != 2:
+            raise RuntimeError(f"link {self.name} is not fully attached")
+        channel = self._channels[sender]
+        return channel.send(packet, self.other_end(sender))
+
+    # ------------------------------------------------------------------
+    # Failure injection (the paper's controlled network events)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down, losing queued and in-flight packets."""
+        if not self.up:
+            return
+        self.up = False
+        for channel in self._channels.values():
+            channel.flush()
+        self.sim.trace.log("link_state", link=self.name, up=False)
+        for observer in list(self.observers):
+            observer(self, False)
+
+    def recover(self) -> None:
+        """Bring the link back up."""
+        if self.up:
+            return
+        self.up = True
+        self.sim.trace.log("link_state", link=self.name, up=True)
+        for observer in list(self.observers):
+            observer(self, True)
+
+    def observe(self, callback: Callable[["Link", bool], None]) -> None:
+        """Register for up/down notifications (basis for VINI upcalls)."""
+        self.observers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _trace_drop(self, packet: Packet, reason: str) -> None:
+        self.sim.trace.log("link_drop", link=self.name, reason=reason, uid=packet.uid)
+
+    def stats(self, sender: Optional["Interface"] = None) -> dict:
+        channels = (
+            [self._channels[sender]] if sender else list(self._channels.values())
+        )
+        return {
+            "tx_packets": sum(c.tx_packets for c in channels),
+            "tx_bytes": sum(c.tx_bytes for c in channels),
+            "drops": sum(c.drops for c in channels),
+            "queued_bytes": sum(c.queued_bytes for c in channels),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.bandwidth / 1e6:.0f}Mb/s {self.delay * 1e3:.1f}ms {state}>"

@@ -1,0 +1,91 @@
+"""Background load generators.
+
+The PlanetLab microbenchmarks (Section 5.1.2) are dominated by one
+effect: *other people's slices* contending for the CPU. :class:`CPUHog`
+reproduces that contention — a process that always has work queued, in
+timeslice-sized chunks drawn from a (optionally heavy-tailed) quantum
+distribution. A handful of hogs per node turns a quiet simulated
+machine into a busy PlanetLab node; the scheduling latency they inflict
+on a default-share Click process produces the jitter, RTT inflation and
+socket-buffer loss of Tables 4–6 and Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.phys.node import PhysicalNode
+from repro.phys.process import Process
+
+
+class CPUHog:
+    """A slice process that consumes every cycle it is offered.
+
+    Parameters
+    ----------
+    quantum:
+        Nominal work-chunk size in seconds (a Linux-2.6-era timeslice).
+    heavy_tail_prob / heavy_tail_max:
+        With this probability a chunk is drawn uniformly from
+        ``[quantum, heavy_tail_max]`` instead — modeling occasional
+        long non-preemptible stretches (kernel work, cache-cold phases)
+        that produce the 80 ms ping outliers of Table 5.
+    duty_cycle:
+        Fraction of time the hog wants to run. Below 1.0 the hog sleeps
+        between bursts, modeling slices that are busy only sometimes —
+        this is what makes contention *fluctuate*, the paper's stated
+        obstacle to repeatable experiments.
+    """
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        name: str = "hog",
+        quantum: float = 0.005,
+        heavy_tail_prob: float = 0.02,
+        heavy_tail_max: float = 0.060,
+        duty_cycle: float = 1.0,
+        share: float = 1.0,
+        rng_stream: Optional[str] = None,
+    ):
+        if not 0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle!r}")
+        self.node = node
+        self.process = Process(node, name, share=share)
+        self.quantum = quantum
+        self.heavy_tail_prob = heavy_tail_prob
+        self.heavy_tail_max = heavy_tail_max
+        self.duty_cycle = duty_cycle
+        self.rng = node.sim.rng(rng_stream or f"hog.{node.name}.{name}")
+        self.running = False
+
+    def start(self) -> "CPUHog":
+        if not self.running:
+            self.running = True
+            self._submit()
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _chunk(self) -> float:
+        if self.heavy_tail_prob and self.rng.random() < self.heavy_tail_prob:
+            return self.rng.uniform(self.quantum, self.heavy_tail_max)
+        return self.quantum
+
+    def _submit(self) -> None:
+        if not self.running:
+            return
+        self.process.exec_after(self._chunk(), self._done)
+
+    def _done(self) -> None:
+        if not self.running:
+            return
+        if self.duty_cycle >= 1.0:
+            self._submit()
+            return
+        # Sleep so that the long-run demand equals the duty cycle.
+        sleep = self.quantum * (1.0 - self.duty_cycle) / self.duty_cycle
+        # Burstiness: exponential-ish gap around the mean sleep.
+        gap = self.rng.expovariate(1.0 / sleep) if sleep > 0 else 0.0
+        self.node.sim.at(gap, self._submit)

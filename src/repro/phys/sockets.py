@@ -1,0 +1,187 @@
+"""Simulated kernel sockets.
+
+Sockets are where user-space processes meet the kernel, and—critically
+for Figure 6—where packets are *lost* when a process is starved of CPU:
+each socket has a finite receive buffer, and datagrams that arrive while
+the owning process has not yet executed its pending reads overflow and
+are dropped, exactly the mechanism the paper identifies ("Click needs to
+read them at a faster rate than they are arriving or else the UDP socket
+buffer will overflow and the kernel will drop packets").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.net.addr import IPv4Address, ip
+from repro.net.packet import (
+    IPv4Header,
+    OpaquePayload,
+    Packet,
+    PROTO_UDP,
+    UDPHeader,
+)
+from repro.phys.process import Process
+
+DEFAULT_RCVBUF = 128 * 1024  # bytes, in the spirit of Linux 2.6 rmem_default
+
+
+class UDPSocket:
+    """A UDP socket owned by a process.
+
+    Parameters
+    ----------
+    owner:
+        The process that reads this socket. Delivery of each datagram
+        costs ``recv_cost(packet)`` seconds of the owner's CPU; until
+        that work has executed the datagram occupies receive-buffer
+        space.
+    rcvbuf:
+        Receive buffer size in bytes; overflow drops the datagram.
+    """
+
+    def __init__(
+        self,
+        node: "PhysicalNode",  # noqa: F821
+        owner: Process,
+        local_addr: IPv4Address,
+        local_port: int,
+        rcvbuf: int = DEFAULT_RCVBUF,
+        recv_cost: Optional[Callable[[Packet], float]] = None,
+        sliver: Optional["Sliver"] = None,  # noqa: F821
+    ):
+        self.node = node
+        self.owner = owner
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.rcvbuf = rcvbuf
+        self.recv_cost = recv_cost or (lambda _pkt: node.app_recv_cost)
+        self.sliver = sliver
+        self.on_receive: Optional[Callable[[Packet, IPv4Address, int], None]] = None
+        self.pending_bytes = 0
+        self.drops = 0
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def sendto(
+        self,
+        payload: Union[int, OpaquePayload],
+        dst: Union[str, IPv4Address],
+        dport: int,
+        tos: int = 0,
+        ttl: int = 64,
+    ) -> Packet:
+        """Send a datagram. ``payload`` is a size or an OpaquePayload.
+
+        CPU cost of the send is the *caller's* responsibility (charge it
+        on the owning process before calling); the kernel-side transmit
+        itself is modeled inside the node's output path.
+        """
+        if self.closed:
+            raise RuntimeError("sendto on closed socket")
+        if isinstance(payload, int):
+            payload = OpaquePayload(payload)
+        dst_addr = ip(dst)
+        packet = Packet(
+            headers=[
+                IPv4Header(self.local_addr, dst_addr, PROTO_UDP, tos=tos, ttl=ttl),
+                UDPHeader(self.local_port, dport),
+            ],
+            payload=payload,
+            created_at=self.node.sim.now,
+        )
+        # Attribute the packet to the sending slice (classified by HTB
+        # egress schedulers, Section 4.1.1).
+        if self.owner.sliver is not None:
+            packet.meta["slice"] = self.owner.sliver.slice.name
+        self.tx_packets += 1
+        self.node.ip_output(packet, sliver=self.sliver)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Receive (called by the node's demux)
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Kernel-side delivery into the receive buffer."""
+        if self.closed:
+            return False
+        size = packet.wire_len
+        if self.pending_bytes + size > self.rcvbuf:
+            self.drops += 1
+            self.node.sim.trace.log(
+                "sock_drop",
+                node=self.node.name,
+                port=self.local_port,
+                pending=self.pending_bytes,
+            )
+            return False
+        self.pending_bytes += size
+        self.owner.exec_after(self.recv_cost(packet), self._deliver, packet, size)
+        return True
+
+    def _deliver(self, packet: Packet, size: int) -> None:
+        self.pending_bytes -= size
+        if self.closed:
+            return
+        self.rx_packets += 1
+        if self.on_receive is not None:
+            ip_header = packet.ip
+            udp_header = packet.udp
+            self.on_receive(packet, ip_header.src, udp_header.sport)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.node.unbind_udp(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<UDPSocket {self.node.name} {self.local_addr}:{self.local_port} "
+            f"owner={self.owner.name}>"
+        )
+
+
+class RawIntercept:
+    """A VNET raw port intercept.
+
+    The NAPT egress needs return traffic from external hosts (arbitrary
+    TCP/UDP packets addressed to the node's public IP on a rewritten
+    port) delivered to the Click process as whole IP packets. VNET
+    models this as a raw reservation: (proto, port) -> handler.
+    """
+
+    def __init__(
+        self,
+        node: "PhysicalNode",  # noqa: F821
+        owner: Process,
+        proto: int,
+        port: int,
+        handler: Callable[[Packet], None],
+        recv_cost: Optional[Callable[[Packet], float]] = None,
+    ):
+        self.node = node
+        self.owner = owner
+        self.proto = proto
+        self.port = port
+        self.handler = handler
+        self.recv_cost = recv_cost or (lambda _pkt: node.app_recv_cost)
+        self.closed = False
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.closed:
+            return False
+        self.owner.exec_after(self.recv_cost(packet), self._deliver, packet)
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        if not self.closed:
+            self.handler(packet)
+
+    def close(self) -> None:
+        self.closed = True
+        self.node.vnet.release_raw(self)

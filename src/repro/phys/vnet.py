@@ -1,0 +1,103 @@
+"""VNET: per-node network isolation and port multiplexing.
+
+PlanetLab's VNET module "tracks and multiplexes incoming and outgoing
+traffic [and] provides each slice with the illusion of root-level access
+to the underlying network device. Each slice has access only to its own
+traffic and may reserve specific ports" (Section 4.1.1). This module is
+the reproduction of that: a per-node registry mapping (protocol, port)
+to the slice-owned socket or raw intercept entitled to that traffic.
+Conflicting reservations across slices are refused — the isolation the
+paper needs for simultaneous experiments (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+class PortConflictError(Exception):
+    """Another slice already reserved this port."""
+
+
+class VNet:
+    """Port reservation table for one physical node."""
+
+    def __init__(self, node: "PhysicalNode"):  # noqa: F821
+        self.node = node
+        # (proto, port) -> socket-like (UDPSocket, TCP listener, RawIntercept)
+        self._table: Dict[Tuple[int, int], object] = {}
+        # Ports promised to a future bind (tunnel endpoints are numbered
+        # at topology-build time, before their sockets exist).
+        self._preallocated: set = set()
+
+    # ------------------------------------------------------------------
+    def _owner_slice(self, entry: object) -> Optional[str]:
+        sliver = getattr(entry, "sliver", None)
+        if sliver is not None:
+            return sliver.slice.name
+        owner = getattr(entry, "owner", None)
+        if owner is not None and owner.sliver is not None:
+            return owner.sliver.slice.name
+        return None
+
+    def reserve(self, proto: int, port: int, entry: object) -> None:
+        """Reserve (proto, port) for ``entry``; raise on conflict."""
+        if not 0 < port < 65536:
+            raise ValueError(f"port out of range: {port}")
+        key = (proto, port)
+        existing = self._table.get(key)
+        if existing is not None:
+            raise PortConflictError(
+                f"{self.node.name}: {_proto_name(proto)} port {port} already "
+                f"reserved by slice {self._owner_slice(existing)!r}"
+            )
+        self._table[key] = entry
+
+    def release(self, proto: int, port: int, entry: object) -> None:
+        key = (proto, port)
+        if self._table.get(key) is entry:
+            del self._table[key]
+
+    def release_raw(self, intercept: object) -> None:
+        self.release(intercept.proto, intercept.port, intercept)
+
+    def lookup(self, proto: int, port: int) -> Optional[object]:
+        return self._table.get((proto, port))
+
+    def ports_of_slice(self, slice_name: str) -> list:
+        return [
+            (proto, port)
+            for (proto, port), entry in self._table.items()
+            if self._owner_slice(entry) == slice_name
+        ]
+
+    def free_port(self, proto: int, start: int = 32768, end: int = 61000) -> int:
+        """First unreserved port in [start, end) — ephemeral allocation."""
+        for port in range(start, end):
+            if (proto, port) not in self._table and (proto, port) not in self._preallocated:
+                return port
+        raise PortConflictError(f"{self.node.name}: ephemeral {_proto_name(proto)} ports exhausted")
+
+    def preallocate(self, proto: int, start: int = 33000, end: int = 61000) -> int:
+        """Reserve a port number for a future bind on this node.
+
+        Used when port numbers must be exchanged before sockets exist
+        (both ends of a UDP tunnel are configured with each other's
+        port at topology-build time). The returned port is skipped by
+        :meth:`free_port` and by later preallocations, node-wide —
+        which is what keeps two experiments' tunnels from colliding.
+        """
+        for port in range(start, end):
+            key = (proto, port)
+            if key not in self._table and key not in self._preallocated:
+                self._preallocated.add(key)
+                return port
+        raise PortConflictError(
+            f"{self.node.name}: no {_proto_name(proto)} port free for preallocation"
+        )
+
+
+def _proto_name(proto: int) -> str:
+    return {PROTO_UDP: "udp", PROTO_TCP: "tcp"}.get(proto, str(proto))

@@ -1,0 +1,29 @@
+"""rcc: router configuration parsing driving experiment generation.
+
+The paper drives its Section 5.2 experiment "as extracted from the
+configuration state of the eleven Abilene routers", reusing the
+configuration-parsing machinery of rcc [Feamster & Balakrishnan,
+NSDI'05]. This subpackage reproduces that pipeline: parse an IOS-style
+configuration per router, infer the topology by matching interface
+subnets, check it for faults (the static-analysis spirit of rcc), and
+generate a ready-to-run VINI experiment that mirrors the parsed
+network — topology, OSPF costs, and timers.
+"""
+
+from repro.rcc.model import InterfaceConfig, NetworkModel, OSPFConfig, RouterConfig
+from repro.rcc.parser import parse_config, parse_configs
+from repro.rcc.checks import check_model
+from repro.rcc.generate import experiment_from_model
+from repro.rcc.samples import abilene_router_configs
+
+__all__ = [
+    "InterfaceConfig",
+    "NetworkModel",
+    "OSPFConfig",
+    "RouterConfig",
+    "abilene_router_configs",
+    "check_model",
+    "experiment_from_model",
+    "parse_config",
+    "parse_configs",
+]

@@ -1,0 +1,197 @@
+"""The platform a router runs on: interfaces, message I/O, and the FEA.
+
+XORP separates protocol logic from the machine it manages: daemons see
+interfaces and send packets; route updates flow through the Forwarding
+Engine Abstraction to whichever data plane is in use ("supported
+forwarding engines include the Linux kernel routing table and the Click
+modular software router (which is why we chose XORP for IIAS)",
+Section 4.2.2).
+
+Implementations:
+
+* ``VirtualNode`` (in :mod:`repro.core`) — the PL-VINI case: interfaces
+  are UML virtual Ethernets over UDP tunnels, the FEA programs the
+  Click FIB.
+* :class:`LocalPlatform` + :class:`LocalFabric` — an in-memory fabric
+  for protocol unit tests: point-to-point wires with configurable
+  delay and controllable failures, no Click or CPU model underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.net.addr import IPv4Address, Prefix, ip, prefix
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class RouterInterface:
+    """A router-visible interface (point-to-point in this reproduction)."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Union[str, IPv4Address],
+        pfx: Union[str, Prefix],
+        cost: int = 1,
+        peer: Optional[Union[str, IPv4Address]] = None,
+    ):
+        self.name = name
+        self.address = ip(address)
+        self.prefix = prefix(pfx)
+        self.cost = cost
+        self.peer = ip(peer) if peer is not None else None
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RouterInterface {self.name} {self.address}/{self.prefix.plen} cost={self.cost}>"
+
+
+class FEA:
+    """Forwarding Engine Abstraction: the RIB's route sink.
+
+    Subclasses program a concrete data plane. The base class records
+    the routes it was given — useful on its own for tests.
+    """
+
+    def __init__(self):
+        self.routes: Dict[Tuple[int, int], Tuple[Optional[IPv4Address], str]] = {}
+
+    def install(
+        self, pfx: Prefix, nexthop: Optional[IPv4Address], ifname: str
+    ) -> None:
+        self.routes[pfx.key] = (nexthop, ifname)
+
+    def withdraw(self, pfx: Prefix) -> None:
+        self.routes.pop(pfx.key, None)
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+
+class RoutingPlatform:
+    """Abstract router platform used by the protocol daemons."""
+
+    def __init__(self, sim: Simulator, name: str, fea: Optional[FEA] = None):
+        self.sim = sim
+        self.name = name
+        self.fea = fea if fea is not None else FEA()
+        self.interfaces: Dict[str, RouterInterface] = {}
+        self._receivers: List[Callable[[RouterInterface, Packet], None]] = []
+
+    # -- interface management -------------------------------------------
+    def add_interface(self, iface: RouterInterface) -> RouterInterface:
+        if iface.name in self.interfaces:
+            raise ValueError(f"{self.name}: duplicate interface {iface.name!r}")
+        self.interfaces[iface.name] = iface
+        return iface
+
+    def interface_for(self, address: Union[str, IPv4Address]) -> Optional[RouterInterface]:
+        """The interface whose subnet contains ``address``."""
+        addr = ip(address)
+        for iface in self.interfaces.values():
+            if addr in iface.prefix:
+                return iface
+        return None
+
+    # -- message I/O ------------------------------------------------------
+    def send(self, iface: RouterInterface, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def register_receiver(
+        self, callback: Callable[[RouterInterface, Packet], None]
+    ) -> None:
+        self._receivers.append(callback)
+
+    def deliver(self, iface: RouterInterface, packet: Packet) -> None:
+        for callback in list(self._receivers):
+            callback(iface, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class _Wire:
+    """One direction of a LocalFabric point-to-point wire."""
+
+    def __init__(self, sim: Simulator, delay: float):
+        self.sim = sim
+        self.delay = delay
+        self.up = True
+        self.dst_platform: Optional[LocalPlatform] = None
+        self.dst_iface: Optional[RouterInterface] = None
+
+
+class LocalFabric:
+    """In-memory wiring between LocalPlatforms for protocol tests."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        # (platform name, iface name) -> _Wire
+        self._wires: Dict[Tuple[str, str], _Wire] = {}
+        self._links: Dict[frozenset, List[_Wire]] = {}
+
+    def connect(
+        self,
+        a: "LocalPlatform",
+        iface_a: str,
+        b: "LocalPlatform",
+        iface_b: str,
+        delay: float = 0.001,
+    ) -> None:
+        wire_ab = _Wire(self.sim, delay)
+        wire_ab.dst_platform = b
+        wire_ab.dst_iface = b.interfaces[iface_b]
+        wire_ba = _Wire(self.sim, delay)
+        wire_ba.dst_platform = a
+        wire_ba.dst_iface = a.interfaces[iface_a]
+        self._wires[(a.name, iface_a)] = wire_ab
+        self._wires[(b.name, iface_b)] = wire_ba
+        self._links[frozenset([(a.name, iface_a), (b.name, iface_b)])] = [
+            wire_ab,
+            wire_ba,
+        ]
+
+    def fail(self, a: "LocalPlatform", iface_a: str) -> None:
+        """Fail the link attached to (platform, interface), both ways."""
+        self._set_link(a.name, iface_a, up=False)
+
+    def recover(self, a: "LocalPlatform", iface_a: str) -> None:
+        self._set_link(a.name, iface_a, up=True)
+
+    def _set_link(self, name: str, iface: str, up: bool) -> None:
+        for key, wires in self._links.items():
+            if (name, iface) in key:
+                for wire in wires:
+                    wire.up = up
+                return
+        raise KeyError(f"no link at {name}:{iface}")
+
+    def transmit(self, platform: "LocalPlatform", iface: RouterInterface, packet: Packet) -> None:
+        wire = self._wires.get((platform.name, iface.name))
+        if wire is None or not wire.up:
+            return
+        dst_platform, dst_iface = wire.dst_platform, wire.dst_iface
+        self.sim.at(wire.delay, dst_platform.deliver, dst_iface, packet)
+
+
+class LocalPlatform(RoutingPlatform):
+    """A RoutingPlatform wired through a LocalFabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        fabric: LocalFabric,
+        fea: Optional[FEA] = None,
+    ):
+        super().__init__(sim, name, fea)
+        self.fabric = fabric
+        self.sent = 0
+
+    def send(self, iface: RouterInterface, packet: Packet) -> None:
+        if not iface.up:
+            return
+        self.sent += 1
+        self.fabric.transmit(self, iface, packet)

@@ -1,0 +1,213 @@
+"""RIPv2 (distance vector) for point-to-point topologies.
+
+XORP ships RIP alongside OSPF; experiments that want a
+slower-converging, simpler IGP on the same virtual topology can swap
+this in. Implements the full distance-vector discipline: periodic
+advertisements, split horizon with poisoned reverse, triggered updates,
+infinity at 16, route timeout and garbage collection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.net.addr import ALL_RIP_ROUTERS, IPv4Address, Prefix, ip, prefix
+from repro.net.packet import IPv4Header, OpaquePayload, Packet, PROTO_UDP, UDPHeader
+from repro.routing.platform import RouterInterface, RoutingPlatform
+from repro.routing.rib import AdminDistance, RIB, RibRoute
+from repro.sim.timer import PeriodicTimer
+
+RIP_PORT = 520
+INFINITY = 16
+UPDATE_INTERVAL = 30.0
+TIMEOUT = 180.0
+GC_TIME = 120.0
+TRIGGERED_DELAY = 1.0
+
+
+class RIPEntry:
+    """One route in the RIP table."""
+
+    __slots__ = ("prefix", "metric", "nexthop", "ifname", "updated_at", "gc_at")
+
+    def __init__(self, pfx: Prefix, metric: int, nexthop: Optional[IPv4Address], ifname: str, now: float):
+        self.prefix = pfx
+        self.metric = metric
+        self.nexthop = nexthop
+        self.ifname = ifname
+        self.updated_at = now
+        self.gc_at: Optional[float] = None
+
+
+class RIPUpdate:
+    """A RIP response message payload."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[Tuple[Prefix, int]]):
+        self.entries = entries
+
+    @property
+    def wire_size(self) -> int:
+        return 4 + 20 * len(self.entries)
+
+
+class RIPDaemon:
+    """One RIP router instance."""
+
+    def __init__(
+        self,
+        platform: RoutingPlatform,
+        rib: RIB,
+        update_interval: float = UPDATE_INTERVAL,
+        timeout: float = TIMEOUT,
+    ):
+        self.platform = platform
+        self.sim = platform.sim
+        self.rib = rib
+        self.update_interval = update_interval
+        self.timeout = timeout
+        self.table: Dict[Tuple[int, int], RIPEntry] = {}
+        self._timer: Optional[PeriodicTimer] = None
+        self._sweeper: Optional[PeriodicTimer] = None
+        self._triggered_pending = False
+        self.started = False
+        platform.register_receiver(self._receive)
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        for iface in self.platform.interfaces.values():
+            self._local_entry(iface)
+        self._timer = PeriodicTimer(
+            self.sim,
+            self.update_interval,
+            self._advertise_all,
+            jitter=0.15,
+            rng_stream=f"rip.{self.platform.name}",
+        )
+        self._sweeper = PeriodicTimer(self.sim, 1.0, self._sweep)
+        self.sim.call_soon(self._advertise_all)
+
+    def stop(self) -> None:
+        self.started = False
+        if self._timer is not None:
+            self._timer.stop()
+        if self._sweeper is not None:
+            self._sweeper.stop()
+
+    def _local_entry(self, iface: RouterInterface) -> None:
+        entry = RIPEntry(iface.prefix, 0, None, iface.name, self.sim.now)
+        self.table[iface.prefix.key] = entry
+
+    # ------------------------------------------------------------------
+    def _advertise_all(self) -> None:
+        for iface in self.platform.interfaces.values():
+            self._advertise(iface)
+
+    def _advertise(self, iface: RouterInterface) -> None:
+        entries: List[Tuple[Prefix, int]] = []
+        for entry in self.table.values():
+            if entry.ifname == iface.name and entry.nexthop is not None:
+                # Split horizon with poisoned reverse.
+                entries.append((entry.prefix, INFINITY))
+            else:
+                entries.append((entry.prefix, min(entry.metric, INFINITY)))
+        message = RIPUpdate(entries)
+        packet = Packet(
+            headers=[
+                IPv4Header(iface.address, ALL_RIP_ROUTERS, PROTO_UDP, ttl=1),
+                UDPHeader(RIP_PORT, RIP_PORT),
+            ],
+            payload=OpaquePayload(message.wire_size, data=message, tag="rip"),
+            created_at=self.sim.now,
+        )
+        self.platform.send(iface, packet)
+
+    def _schedule_triggered(self) -> None:
+        if self._triggered_pending or not self.started:
+            return
+        self._triggered_pending = True
+
+        def fire():
+            self._triggered_pending = False
+            self._advertise_all()
+
+        self.sim.at(TRIGGERED_DELAY, fire)
+
+    # ------------------------------------------------------------------
+    def _receive(self, iface: RouterInterface, packet: Packet) -> None:
+        if packet.udp is None or packet.udp.dport != RIP_PORT:
+            return
+        message = packet.payload.data
+        if not isinstance(message, RIPUpdate):
+            return
+        src = packet.ip.src
+        changed = False
+        for pfx, metric in message.entries:
+            new_metric = min(metric + 1, INFINITY)
+            key = pfx.key
+            entry = self.table.get(key)
+            if entry is None:
+                if new_metric >= INFINITY:
+                    continue
+                self.table[key] = RIPEntry(pfx, new_metric, src, iface.name, self.sim.now)
+                self._install(self.table[key])
+                changed = True
+            elif entry.nexthop == src and entry.ifname == iface.name:
+                entry.updated_at = self.sim.now
+                if new_metric != entry.metric:
+                    entry.metric = new_metric
+                    changed = True
+                    if new_metric >= INFINITY:
+                        self._expire(entry)
+                    else:
+                        entry.gc_at = None
+                        self._install(entry)
+            elif new_metric < entry.metric:
+                entry.metric = new_metric
+                entry.nexthop = src
+                entry.ifname = iface.name
+                entry.updated_at = self.sim.now
+                entry.gc_at = None
+                self._install(entry)
+                changed = True
+        if changed:
+            self._schedule_triggered()
+
+    # ------------------------------------------------------------------
+    def _install(self, entry: RIPEntry) -> None:
+        if entry.nexthop is None:
+            return  # connected; the RIB already has it at distance 0
+        self.rib.update(
+            RibRoute(
+                entry.prefix,
+                entry.nexthop,
+                entry.ifname,
+                "rip",
+                AdminDistance.RIP,
+                entry.metric,
+            )
+        )
+
+    def _expire(self, entry: RIPEntry) -> None:
+        entry.metric = INFINITY
+        entry.gc_at = self.sim.now + GC_TIME
+        self.rib.withdraw(entry.prefix, "rip")
+
+    def _sweep(self) -> None:
+        now = self.sim.now
+        for key, entry in list(self.table.items()):
+            if entry.nexthop is None:
+                continue
+            if entry.gc_at is not None:
+                if now >= entry.gc_at:
+                    del self.table[key]
+                continue
+            if now - entry.updated_at > self.timeout:
+                self._expire(entry)
+                self._schedule_triggered()
+
+    def routes(self) -> List[RIPEntry]:
+        return list(self.table.values())

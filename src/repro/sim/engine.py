@@ -1,0 +1,184 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a priority queue of timestamped events. Each
+event is a plain callback; there are no threads and no real time. Code
+that needs randomness draws it from named, seeded streams
+(:class:`repro.sim.rand.RandomStreams`) so that two runs with the same
+seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceCollector
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Cancellation is lazy: :meth:`cancel` marks the event dead and the
+    engine discards it when it reaches the head of the queue. This keeps
+    scheduling O(log n) with no heap surgery.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Safe to call twice."""
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap do not
+        # keep packets / closures alive.
+        self.fn = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.
+    trace:
+        A :class:`TraceCollector` that experiment code and tools use to
+        record measurements.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self.random = RandomStreams(seed)
+        self.trace = TraceCollector(self)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated ``time``.
+
+        Scheduling in the past raises ``ValueError`` — a past event would
+        silently reorder history and mask bugs.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time:.9f}, now is t={self.now:.9f}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        # Heap entries are (time, seq, event) tuples: tuple comparison
+        # runs in C, which matters at millions of events per run.
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def at(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.schedule(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        return self.schedule(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue.
+
+        Runs until the queue is empty, :meth:`stop` is called, or the
+        next event is later than ``until`` (in which case the clock is
+        advanced exactly to ``until``). Returns the final clock value.
+        """
+        if self._running:
+            raise RuntimeError("simulator is re-entrant: run() called from event")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                pop(heap)
+                self.now = entry[0]
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Execute the single next event. Returns False if queue empty."""
+        while self._heap:
+            time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    def rng(self, stream: str):
+        """Named deterministic random stream (see RandomStreams)."""
+        return self.random.stream(stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"

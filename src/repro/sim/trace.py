@@ -1,0 +1,73 @@
+"""Measurement trace collection.
+
+Tools (ping, iperf, tcpdump) and substrate components record timestamped
+records into the simulator's :class:`TraceCollector`. Benchmarks then
+query the collector to regenerate the paper's tables and figures. Live
+subscribers allow tests to assert on events as they happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped measurement record."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceCollector:
+    """Append-only log of :class:`TraceRecord` plus pub/sub hooks."""
+
+    def __init__(self, sim: "Simulator"):  # noqa: F821 - circular typing
+        self._sim = sim
+        self.records: List[TraceRecord] = []
+        self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        self.enabled = True
+
+    def log(self, kind: str, **fields: Any) -> Optional[TraceRecord]:
+        """Record an event of ``kind`` at the current simulated time."""
+        if not self.enabled:
+            return None
+        record = TraceRecord(self._sim.now, kind, fields)
+        self.records.append(record)
+        for callback in self._subscribers.get(kind, ()):
+            callback(record)
+        return record
+
+    def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record of ``kind``."""
+        self._subscribers.setdefault(kind, []).append(callback)
+
+    def unsubscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        callbacks = self._subscribers.get(kind, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    def select(self, kind: str, **match: Any) -> Iterator[TraceRecord]:
+        """All records of ``kind`` whose fields match ``match``."""
+        for record in self.records:
+            if record.kind != kind:
+                continue
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                yield record
+
+    def count(self, kind: str, **match: Any) -> int:
+        return sum(1 for _ in self.select(kind, **match))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,182 @@
+"""Traffic generators: CBR, Poisson, on/off bursts, and flash crowds.
+
+Section 1's list of controlled events is "link failures and flash
+crowds"; Section 2 adds "changes in traffic volume". These generators
+are the machinery for the traffic side: steady sources with different
+arrival processes, and :class:`FlashCrowd`, which turns a set of
+senders loose on one target for a bounded window — the classic
+overload event an experiment wants to inject on cue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.net.addr import IPv4Address, ip
+from repro.net.packet import OpaquePayload
+from repro.phys.node import PhysicalNode
+from repro.phys.process import Process
+from repro.phys.vserver import Sliver
+
+SEND_COST = 5.0e-6
+
+
+class _SourceBase:
+    """Common machinery: a UDP sender on a node (optionally in a sliver)."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        dst: Union[str, IPv4Address],
+        dport: int,
+        payload: int,
+        sliver: Optional[Sliver] = None,
+        name: str = "source",
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.dst = ip(dst)
+        self.dport = dport
+        self.payload = payload
+        self.sliver = sliver
+        if sliver is not None:
+            self.process = sliver.create_process(name)
+            bind = sliver.tap.address if sliver.tap is not None else None
+        else:
+            self.process = Process(node, name)
+            bind = None
+        self.sock = node.udp_socket(self.process, local_addr=bind)
+        self.sent = 0
+        self.running = False
+
+    def start(self):
+        if not self.running:
+            self.running = True
+            self._schedule_next(first=True)
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _schedule_next(self, first: bool = False) -> None:
+        raise NotImplementedError
+
+    def _emit(self) -> None:
+        if not self.running:
+            return
+        self.sent += 1
+        seq = self.sent
+        self.process.exec_after(
+            SEND_COST,
+            self.sock.sendto,
+            OpaquePayload(self.payload, data={"seq": seq, "sent_at": self.sim.now}),
+            self.dst,
+            self.dport,
+        )
+        self._schedule_next()
+
+
+class CBRSource(_SourceBase):
+    """Constant bit rate: one datagram every payload*8/rate seconds."""
+
+    def __init__(self, node, dst, dport, rate_bps: float, payload: int = 1430, **kwargs):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps!r}")
+        super().__init__(node, dst, dport, payload, **kwargs)
+        self.interval = payload * 8 / rate_bps
+
+    def _schedule_next(self, first: bool = False) -> None:
+        self.sim.at(0.0 if first else self.interval, self._emit)
+
+
+class PoissonSource(_SourceBase):
+    """Poisson arrivals at ``rate_pps`` packets per second."""
+
+    def __init__(self, node, dst, dport, rate_pps: float, payload: int = 1430,
+                 rng_stream: Optional[str] = None, **kwargs):
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps!r}")
+        super().__init__(node, dst, dport, payload, **kwargs)
+        self.rate_pps = rate_pps
+        self.rng = node.sim.rng(rng_stream or f"poisson.{node.name}.{dport}")
+
+    def _schedule_next(self, first: bool = False) -> None:
+        gap = self.rng.expovariate(self.rate_pps)
+        self.sim.at(gap, self._emit)
+
+
+class OnOffSource(_SourceBase):
+    """Exponential on/off bursts: CBR at ``rate_bps`` while on."""
+
+    def __init__(
+        self,
+        node,
+        dst,
+        dport,
+        rate_bps: float,
+        mean_on: float = 1.0,
+        mean_off: float = 1.0,
+        payload: int = 1430,
+        rng_stream: Optional[str] = None,
+        **kwargs,
+    ):
+        super().__init__(node, dst, dport, payload, **kwargs)
+        self.interval = payload * 8 / rate_bps
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.rng = node.sim.rng(rng_stream or f"onoff.{node.name}.{dport}")
+        self._on_until = 0.0
+
+    def _schedule_next(self, first: bool = False) -> None:
+        now = self.sim.now
+        if first or now >= self._on_until:
+            # Start (or schedule) the next on-period.
+            off_gap = 0.0 if first else self.rng.expovariate(1.0 / self.mean_off)
+            on_length = self.rng.expovariate(1.0 / self.mean_on)
+            self._on_until = now + off_gap + on_length
+            self.sim.at(off_gap, self._emit)
+        else:
+            self.sim.at(self.interval, self._emit)
+
+
+class FlashCrowd:
+    """Many senders converging on one target for a bounded window.
+
+    The controlled "flash crowd" event of Section 1: ``n_sources``
+    CBR senders spread over ``nodes`` all aim at (dst, dport) between
+    ``start`` and ``start + duration``.
+    """
+
+    def __init__(
+        self,
+        nodes: List[PhysicalNode],
+        dst: Union[str, IPv4Address],
+        dport: int,
+        n_sources: int = 10,
+        rate_bps: float = 5e6,
+        payload: int = 1430,
+        slivers: Optional[List[Sliver]] = None,
+    ):
+        if not nodes:
+            raise ValueError("flash crowd needs at least one source node")
+        self.sources: List[CBRSource] = []
+        for index in range(n_sources):
+            node = nodes[index % len(nodes)]
+            sliver = slivers[index % len(slivers)] if slivers else None
+            self.sources.append(
+                CBRSource(
+                    node, dst, dport, rate_bps, payload=payload,
+                    sliver=sliver, name=f"crowd{index}",
+                )
+            )
+        self.sim = nodes[0].sim
+
+    def schedule(self, start: float, duration: float) -> "FlashCrowd":
+        for source in self.sources:
+            self.sim.schedule(start, source.start)
+            self.sim.schedule(start + duration, source.stop)
+        return self
+
+    @property
+    def sent(self) -> int:
+        return sum(source.sent for source in self.sources)

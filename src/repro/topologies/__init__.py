@@ -1,0 +1,37 @@
+"""Ready-made topologies: Abilene, DETER, and generators.
+
+The paper's two experimental settings are the DETER/Emulab 3-node
+testbed (Figs. 3–4) and the 11-PoP Abilene backbone (Figs. 5 and 7).
+Both are reproduced here with calibrated link latencies, along with
+generic generators (line/ring/star/mesh and Waxman random graphs) for
+experiments beyond the paper.
+"""
+
+from repro.topologies.abilene import (
+    ABILENE_LINKS,
+    ABILENE_POPS,
+    build_abilene,
+    build_abilene_iias,
+)
+from repro.topologies.deter import build_deter, build_deter_iias
+from repro.topologies.generators import (
+    build_full_mesh,
+    build_line,
+    build_ring,
+    build_star,
+    build_waxman,
+)
+
+__all__ = [
+    "ABILENE_LINKS",
+    "ABILENE_POPS",
+    "build_abilene",
+    "build_abilene_iias",
+    "build_deter",
+    "build_deter_iias",
+    "build_full_mesh",
+    "build_line",
+    "build_ring",
+    "build_star",
+    "build_waxman",
+]

@@ -1,0 +1,114 @@
+"""Generic topology generators.
+
+VINI's point is *arbitrary* virtual topologies on a fixed substrate
+(Section 3.1); these helpers generate the usual suspects — line, ring,
+star, full mesh — and Waxman random graphs (via networkx) for larger
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.experiment import Experiment
+from repro.core.infrastructure import VINI
+
+
+def _build(
+    edges: List[Tuple[str, str]],
+    names: List[str],
+    bandwidth: float,
+    delay: float,
+    seed: int,
+    name: str,
+    realtime: bool,
+) -> Tuple[VINI, Experiment]:
+    vini = VINI(seed=seed)
+    for node in names:
+        vini.add_node(node)
+    for a, b in edges:
+        vini.connect(a, b, bandwidth=bandwidth, delay=delay)
+    vini.install_underlay_routes()
+    exp = Experiment(vini, name, realtime=realtime)
+    for node in names:
+        exp.add_node(node, node)
+    for a, b in edges:
+        exp.connect(a, b)
+    return vini, exp
+
+
+def build_line(
+    n: int,
+    bandwidth: float = 1e9,
+    delay: float = 0.002,
+    seed: int = 0,
+    name: str = "line",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    names = [f"n{i}" for i in range(n)]
+    edges = list(zip(names, names[1:]))
+    return _build(edges, names, bandwidth, delay, seed, name, realtime)
+
+
+def build_ring(
+    n: int,
+    bandwidth: float = 1e9,
+    delay: float = 0.002,
+    seed: int = 0,
+    name: str = "ring",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    names = [f"n{i}" for i in range(n)]
+    edges = list(zip(names, names[1:])) + [(names[-1], names[0])]
+    return _build(edges, names, bandwidth, delay, seed, name, realtime)
+
+
+def build_star(
+    leaves: int,
+    bandwidth: float = 1e9,
+    delay: float = 0.002,
+    seed: int = 0,
+    name: str = "star",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    names = ["hub"] + [f"leaf{i}" for i in range(leaves)]
+    edges = [("hub", leaf) for leaf in names[1:]]
+    return _build(edges, names, bandwidth, delay, seed, name, realtime)
+
+
+def build_full_mesh(
+    n: int,
+    bandwidth: float = 1e9,
+    delay: float = 0.002,
+    seed: int = 0,
+    name: str = "mesh",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    names = [f"n{i}" for i in range(n)]
+    edges = [
+        (names[i], names[j]) for i in range(n) for j in range(i + 1, n)
+    ]
+    return _build(edges, names, bandwidth, delay, seed, name, realtime)
+
+
+def build_waxman(
+    n: int,
+    alpha: float = 0.6,
+    beta: float = 0.3,
+    bandwidth: float = 1e9,
+    delay: float = 0.002,
+    seed: int = 0,
+    name: str = "waxman",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    """A connected Waxman random graph (extra edges added if needed)."""
+    graph = nx.waxman_graph(n, alpha=alpha, beta=beta, seed=seed)
+    # Stitch components together deterministically.
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    for first, second in zip(components, components[1:]):
+        graph.add_edge(first[0], second[0])
+    names = [f"n{i}" for i in range(n)]
+    edges = [(names[a], names[b]) for a, b in sorted(graph.edges())]
+    return _build(edges, names, bandwidth, delay, seed, name, realtime)

@@ -1,0 +1,80 @@
+"""Tests for the non-work-conserving CPU cap (Section 6.2)."""
+
+import pytest
+
+from repro.phys.node import PhysicalNode
+from repro.phys.process import Process
+from repro.sim import Simulator
+
+
+def make_node():
+    sim = Simulator(seed=3)
+    return sim, PhysicalNode(sim, "n")
+
+
+def busy_loop(proc, chunk=0.001):
+    def refill():
+        proc.exec_after(chunk, refill)
+
+    refill()
+
+
+def test_capped_process_limited_even_on_idle_cpu():
+    """Non-work-conserving: the cap binds with nothing else running."""
+    sim, node = make_node()
+    capped = Process(node, "capped", cpu_cap=0.25)
+    busy_loop(capped)
+    sim.run(until=10.0)
+    assert capped.cpu_used / 10.0 == pytest.approx(0.25, rel=0.15)
+
+
+def test_uncapped_process_uses_idle_cpu():
+    sim, node = make_node()
+    free = Process(node, "free")
+    busy_loop(free)
+    sim.run(until=5.0)
+    assert free.cpu_used / 5.0 > 0.95
+
+
+def test_cap_gives_repeatable_allocation_with_and_without_load():
+    """The Section 6.2 rationale: same allocation, neither less nor more,
+    regardless of competing load — repeatable experiments."""
+    allocations = []
+    for competitors in (0, 6):
+        sim, node = make_node()
+        capped = Process(node, "exp", cpu_cap=0.2, reservation=0.2)
+        busy_loop(capped)
+        for index in range(competitors):
+            busy_loop(Process(node, f"other{index}"))
+        sim.run(until=10.0)
+        allocations.append(capped.cpu_used / 10.0)
+    idle_alloc, loaded_alloc = allocations
+    assert idle_alloc == pytest.approx(0.2, rel=0.15)
+    assert loaded_alloc == pytest.approx(idle_alloc, rel=0.15)
+
+
+def test_others_get_remaining_cpu():
+    sim, node = make_node()
+    capped = Process(node, "capped", cpu_cap=0.3)
+    other = Process(node, "other")
+    busy_loop(capped)
+    busy_loop(other)
+    sim.run(until=10.0)
+    assert other.cpu_used / 10.0 > 0.6
+
+
+def test_invalid_cap_rejected():
+    sim, node = make_node()
+    with pytest.raises(ValueError):
+        Process(node, "bad", cpu_cap=0.0)
+    with pytest.raises(ValueError):
+        Process(node, "bad", cpu_cap=1.5)
+
+
+def test_slice_cap_inherited_by_processes():
+    from repro.phys.vserver import Slice
+
+    sim, node = make_node()
+    sliver = node.create_sliver(Slice("exp", cpu_cap=0.4))
+    proc = sliver.create_process("worker")
+    assert proc.cpu_cap == 0.4

@@ -1,0 +1,116 @@
+"""Unit tests for the HTB egress scheduler."""
+
+import pytest
+
+from repro.net.packet import IPv4Header, OpaquePayload, Packet, PROTO_UDP
+from repro.phys.htb import HTB
+from repro.sim import Simulator
+
+
+def make_packet(size=1000):
+    return Packet(
+        headers=[IPv4Header("10.0.0.1", "10.0.0.2", PROTO_UDP)],
+        payload=OpaquePayload(size - 20),
+    )
+
+
+def drain(sim, htb, cls, count, size=1000, interval=0.0):
+    sent = []
+    for i in range(count):
+        sim.at(i * interval, lambda: htb.enqueue(cls, make_packet(size)))
+    return sent
+
+
+def test_single_class_paced_at_line_rate():
+    sim = Simulator()
+    out = []
+    htb = HTB(sim, line_rate=8_000_000, output=lambda p: out.append(sim.now))
+    htb.add_class("a", rate=8_000_000)
+    for _ in range(3):
+        htb.enqueue("a", make_packet(1000))
+    sim.run()
+    # 1000B at 8Mb/s = 1ms each, back to back; bursts allowed up front.
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(0.001)
+    assert out[2] == pytest.approx(0.002)
+
+
+def test_class_rate_limits_when_below_ceiling():
+    sim = Simulator()
+    out = []
+    htb = HTB(sim, line_rate=100_000_000, output=lambda p: out.append(sim.now))
+    # 1 Mb/s ceiling: after the initial burst, 1000B packets leave 8ms apart.
+    htb.add_class("slow", rate=1_000_000, ceil=1_000_000, burst=1000)
+    for _ in range(4):
+        htb.enqueue("slow", make_packet(1000))
+    sim.run()
+    gaps = [b - a for a, b in zip(out, out[1:])]
+    assert all(gap == pytest.approx(0.008, rel=0.05) for gap in gaps)
+
+
+def test_borrowing_up_to_ceiling_when_idle():
+    sim = Simulator()
+    out = []
+    htb = HTB(sim, line_rate=10_000_000, output=lambda p: out.append(sim.now))
+    htb.add_class("a", rate=1_000_000, ceil=10_000_000, burst=2000)
+    # With the other class idle, "a" can borrow: 1000B at 10Mb/s = 0.8ms.
+    htb.add_class("b", rate=9_000_000)
+    for _ in range(2):
+        htb.enqueue("a", make_packet(1000))
+    sim.run()
+    assert out[1] - out[0] == pytest.approx(0.0008, rel=0.05)
+
+
+def test_fair_split_between_backlogged_classes():
+    sim = Simulator()
+    counts = {"a": 0, "b": 0}
+    htb = HTB(sim, line_rate=8_000_000, output=lambda p: None)
+    ca = htb.add_class("a", rate=4_000_000)
+    cb = htb.add_class("b", rate=4_000_000)
+    for _ in range(50):
+        htb.enqueue("a", make_packet(1000))
+        htb.enqueue("b", make_packet(1000))
+    sim.run()
+    assert ca.tx_bytes == cb.tx_bytes == 50_000
+
+
+def test_minimum_rate_guarantee_under_pressure():
+    sim = Simulator()
+    htb = HTB(sim, line_rate=10_000_000, output=lambda p: None)
+    small = htb.add_class("small", rate=2_500_000)
+    big = htb.add_class("big", rate=7_500_000)
+
+    def feed():
+        if small.queued_bytes < 10000:
+            htb.enqueue("small", make_packet(1000))
+        if big.queued_bytes < 10000:
+            htb.enqueue("big", make_packet(1000))
+        sim.at(0.0005, feed)
+
+    feed()
+    sim.run(until=2.0)
+    total = small.tx_bytes + big.tx_bytes
+    # Small class gets at least its 25% guarantee.
+    assert small.tx_bytes / total >= 0.22
+
+
+def test_queue_limit_drops():
+    sim = Simulator()
+    htb = HTB(sim, line_rate=1_000_000, output=lambda p: None)
+    cls = htb.add_class("a", rate=1_000_000, queue_limit=3000)
+    results = [htb.enqueue("a", make_packet(1000)) for _ in range(6)]
+    assert False in results
+    assert cls.drops >= 1
+    sim.run()
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        HTB(sim, line_rate=0, output=lambda p: None)
+    htb = HTB(sim, line_rate=1e6, output=lambda p: None)
+    with pytest.raises(ValueError):
+        htb.add_class("bad", rate=2e6, ceil=1e6)
+    htb.add_class("a", rate=1e6)
+    with pytest.raises(ValueError):
+        htb.add_class("a", rate=1e6)

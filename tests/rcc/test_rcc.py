@@ -1,0 +1,166 @@
+"""Tests for the rcc pipeline: parse, check, generate."""
+
+import pytest
+
+from repro.net.addr import ip, prefix
+from repro.rcc import (
+    abilene_router_configs,
+    check_model,
+    experiment_from_model,
+    parse_config,
+    parse_configs,
+)
+from repro.rcc.parser import ConfigSyntaxError
+from repro.topologies.abilene import ABILENE_LINKS, ABILENE_POPS, build_abilene, ospf_weight
+
+SIMPLE = """\
+hostname r1
+!
+interface ge-0/0/0
+ description to r2
+ ip address 192.0.2.1 255.255.255.252
+ ip ospf cost 7
+ ip ospf hello-interval 5
+ ip ospf dead-interval 10
+!
+router ospf 1
+ router-id 10.255.0.1
+ network 192.0.2.0 0.0.0.255 area 0
+!
+"""
+
+
+class TestParser:
+    def test_parse_single_router(self):
+        router = parse_config(SIMPLE)
+        assert router.hostname == "r1"
+        iface = router.interfaces["ge-0/0/0"]
+        assert str(iface.address) == "192.0.2.1"
+        assert iface.prefix == prefix("192.0.2.0/30")
+        assert iface.ospf_cost == 7
+        assert iface.hello_interval == 5.0
+        assert router.ospf.router_id == ip("10.255.0.1")
+        assert router.ospf.networks[0][0] == prefix("192.0.2.0/24")
+
+    def test_ospf_covers(self):
+        router = parse_config(SIMPLE)
+        assert router.ospf.covers(ip("192.0.2.1"))
+        assert not router.ospf.covers(ip("203.0.113.1"))
+        assert router.ospf_interfaces()
+
+    def test_shutdown_interface_ignored_in_links(self):
+        text = SIMPLE.replace(" ip ospf cost 7", " shutdown\n ip ospf cost 7")
+        router = parse_config(text)
+        assert router.interfaces["ge-0/0/0"].shutdown
+
+    def test_syntax_error_reported_with_line(self):
+        with pytest.raises(ConfigSyntaxError) as err:
+            parse_config("hostname x\ninterface e0\n frobnicate\n")
+        assert "line 3" in str(err.value)
+
+    def test_unknown_toplevel_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("banner motd hello\n")
+
+    def test_duplicate_hostname_rejected(self):
+        with pytest.raises(ValueError):
+            parse_configs([SIMPLE, SIMPLE])
+
+    def test_link_inference(self):
+        peer = SIMPLE.replace("r1", "r2").replace("192.0.2.1", "192.0.2.2").replace(
+            "10.255.0.1", "10.255.0.2"
+        )
+        model = parse_configs([SIMPLE, peer])
+        assert len(model.links) == 1
+        link = model.links[0]
+        assert {link.router_a, link.router_b} == {"r1", "r2"}
+        assert link.cost == 7
+
+
+class TestChecks:
+    def test_clean_config_has_no_errors(self):
+        peer = SIMPLE.replace("r1", "r2").replace("192.0.2.1", "192.0.2.2").replace(
+            "10.255.0.1", "10.255.0.2"
+        )
+        model = parse_configs([SIMPLE, peer])
+        errors = [f for f in check_model(model) if f.severity == "error"]
+        assert errors == []
+
+    def test_dangling_subnet_warned(self):
+        model = parse_configs([SIMPLE])
+        faults = check_model(model)
+        assert any("no neighbor" in f.message for f in faults)
+
+    def test_duplicate_address_detected(self):
+        peer = SIMPLE.replace("r1", "r2").replace("10.255.0.1", "10.255.0.2")
+        model = parse_configs([SIMPLE, peer])
+        faults = check_model(model)
+        assert any("also configured" in f.message for f in faults)
+
+    def test_duplicate_router_id_detected(self):
+        peer = SIMPLE.replace("r1", "r2").replace("192.0.2.1", "192.0.2.2")
+        model = parse_configs([SIMPLE, peer])
+        faults = check_model(model)
+        assert any("router-id" in f.message for f in faults)
+
+    def test_timer_mismatch_is_error(self):
+        peer = (
+            SIMPLE.replace("r1", "r2")
+            .replace("192.0.2.1", "192.0.2.2")
+            .replace("10.255.0.1", "10.255.0.2")
+            .replace("hello-interval 5", "hello-interval 10")
+        )
+        model = parse_configs([SIMPLE, peer])
+        faults = check_model(model)
+        assert any(
+            f.severity == "error" and "hello-interval" in f.message for f in faults
+        )
+
+    def test_cost_mismatch_is_warning(self):
+        peer = (
+            SIMPLE.replace("r1", "r2")
+            .replace("192.0.2.1", "192.0.2.2")
+            .replace("10.255.0.1", "10.255.0.2")
+            .replace("cost 7", "cost 9")
+        )
+        model = parse_configs([SIMPLE, peer])
+        faults = check_model(model)
+        assert any("cost mismatch" in f.message for f in faults)
+
+
+class TestAbileneRoundTrip:
+    def test_sample_configs_parse_clean(self):
+        model = parse_configs(abilene_router_configs())
+        assert len(model.routers) == 11
+        assert len(model.links) == len(ABILENE_LINKS)
+        errors = [f for f in check_model(model) if f.severity == "error"]
+        assert errors == []
+
+    def test_costs_roundtrip(self):
+        model = parse_configs(abilene_router_configs())
+        for (a, b), delay in ABILENE_LINKS.items():
+            link = model.link_between(a, b)
+            assert link is not None
+            assert link.cost == ospf_weight(delay)
+
+    def test_generate_experiment_mirrors_abilene(self):
+        vini = build_abilene(seed=3)
+        model = parse_configs(abilene_router_configs())
+        exp = experiment_from_model(model, vini, name="mirror")
+        assert set(exp.network.nodes) == set(ABILENE_POPS)
+        assert len(exp.network.links) == len(ABILENE_LINKS)
+        # Timers extracted from the configuration, not defaults.
+        ospf = exp.network.nodes["denver"].xorp.ospf
+        assert ospf.hello_interval == 5.0
+        assert ospf.dead_interval == 10.0
+        # Costs carried through to the virtual interfaces.
+        vlink = exp.network.link_between("denver", "kansascity")
+        assert vlink.cost == ospf_weight(ABILENE_LINKS[("denver", "kansascity")])
+
+    def test_strict_mode_rejects_faulty_configs(self):
+        vini = build_abilene(seed=4)
+        configs = abilene_router_configs()
+        broken = [c.replace("hello-interval 5", "hello-interval 30", 1) for c in configs[:1]] + configs[1:]
+        model = parse_configs(broken)
+        with pytest.raises(ValueError):
+            experiment_from_model(model, vini)

@@ -1,0 +1,48 @@
+"""Helpers for routing tests: build small LocalFabric topologies."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.routing import LocalFabric, LocalPlatform, RouterInterface, XORPRouter
+from repro.sim import Simulator
+
+
+def build_topology(sim, edges, delay=0.001, costs=None):
+    """Build routers from an edge list like [("a", "b"), ("b", "c")].
+
+    Each router gets a /32 loopback-style stub 10.255.x.1 advertised by
+    OSPF via stub_prefixes at configure time (caller's job); interface
+    subnets are allocated /30s from 10.9.0.0/16.
+
+    Returns (fabric, {name: platform}, {name: XORPRouter},
+             {(a, b): (iface_a, iface_b)}).
+    """
+    fabric = LocalFabric(sim)
+    platforms = {}
+    routers = {}
+    names = sorted({n for edge in edges for n in edge})
+    for name in names:
+        platforms[name] = LocalPlatform(sim, name, fabric)
+        routers[name] = XORPRouter(platforms[name])
+    ifmap = {}
+    subnets = Prefix("10.9.0.0", 16).subnets(30)
+    for index, (a, b) in enumerate(edges):
+        subnet = next(subnets)
+        hosts = list(subnet.hosts())
+        cost = (costs or {}).get((a, b), (costs or {}).get((b, a), 1))
+        ia = RouterInterface(f"to_{b}", hosts[0], subnet, cost=cost, peer=hosts[1])
+        ib = RouterInterface(f"to_{a}", hosts[1], subnet, cost=cost, peer=hosts[0])
+        platforms[a].add_interface(ia)
+        platforms[b].add_interface(ib)
+        fabric.connect(platforms[a], ia.name, platforms[b], ib.name, delay=delay)
+        ifmap[(a, b)] = (ia, ib)
+    return fabric, platforms, routers, ifmap
+
+
+def router_id(index):
+    return f"10.255.{index}.1"
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=33)

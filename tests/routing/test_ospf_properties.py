@@ -1,0 +1,77 @@
+"""Property tests: OSPF against networkx shortest paths.
+
+On any connected weighted topology, after convergence every router's
+OSPF route to every other router's stub must exist and carry exactly
+the graph-theoretic shortest-path metric. This is the strongest
+correctness statement we can make about the SPF implementation.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import ip
+from repro.sim import Simulator
+from tests.routing.conftest import build_topology, router_id
+
+
+def _random_connected_graph(n_nodes: int, extra_edges: int, seed: int):
+    rng_graph = nx.random_labeled_tree(n_nodes, seed=seed)
+    graph = nx.Graph(rng_graph.edges())
+    import random
+
+    rng = random.Random(seed)
+    attempts = 0
+    while extra_edges > 0 and attempts < 50:
+        a, b = rng.sample(range(n_nodes), 2)
+        attempts += 1
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+            extra_edges -= 1
+    return graph
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=3, max_value=7),
+    extra_edges=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_ospf_matches_networkx_shortest_paths(n_nodes, extra_edges, seed):
+    graph = _random_connected_graph(n_nodes, extra_edges, seed)
+    names = [f"r{i}" for i in range(n_nodes)]
+    import random
+
+    rng = random.Random(seed + 1)
+    edges = []
+    costs = {}
+    weighted = nx.Graph()
+    for a, b in sorted(graph.edges()):
+        edge = (names[a], names[b])
+        cost = rng.randint(1, 10)
+        edges.append(edge)
+        costs[edge] = cost
+        weighted.add_edge(*edge, weight=cost)
+    sim = Simulator(seed=seed)
+    fabric, platforms, routers, ifmap = build_topology(sim, edges, costs=costs)
+    ordered = sorted(routers)
+    for index, name in enumerate(ordered):
+        routers[name].configure_ospf(
+            router_id(index),
+            hello_interval=2.0,
+            dead_interval=6.0,
+            stub_prefixes=[(f"{router_id(index)}/32", 0)],
+        )
+        routers[name].start()
+    sim.run(until=40.0)
+    expected = dict(nx.all_pairs_dijkstra_path_length(weighted, weight="weight"))
+    for src_index, src in enumerate(ordered):
+        for dst_index, dst in enumerate(ordered):
+            if src == dst:
+                continue
+            route = routers[src].rib.lookup(ip(router_id(dst_index)))
+            assert route is not None, f"{src} has no route to {dst}"
+            assert route.metric == pytest.approx(expected[src][dst]), (
+                f"{src}->{dst}: ospf={route.metric} nx={expected[src][dst]}"
+            )

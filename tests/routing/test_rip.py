@@ -1,0 +1,88 @@
+"""RIP tests: propagation, split horizon, timeout, convergence."""
+
+import pytest
+
+from repro.net.addr import ip
+from repro.sim import Simulator
+from tests.routing.conftest import build_topology
+
+
+def configure_rip(routers, update_interval=5.0, timeout=20.0):
+    for router in routers.values():
+        router.configure_rip(update_interval=update_interval, timeout=timeout)
+        router.start()
+
+
+def test_routes_propagate_across_line():
+    sim = Simulator(seed=61)
+    fabric, platforms, routers, ifmap = build_topology(sim, [("a", "b"), ("b", "c")])
+    configure_rip(routers)
+    sim.run(until=60.0)
+    # a learns the b--c subnet via b.
+    bc_prefix = ifmap[("b", "c")][0].prefix
+    best = routers["a"].rib.best(bc_prefix)
+    assert best is not None
+    assert best.protocol == "rip"
+    assert best.nexthop == ifmap[("a", "b")][1].address
+
+
+def test_metric_counts_hops():
+    sim = Simulator(seed=62)
+    edges = [("a", "b"), ("b", "c"), ("c", "d")]
+    fabric, platforms, routers, ifmap = build_topology(sim, edges)
+    configure_rip(routers)
+    sim.run(until=90.0)
+    cd_prefix = ifmap[("c", "d")][0].prefix
+    best = routers["a"].rib.best(cd_prefix)
+    assert best is not None
+    assert best.metric == pytest.approx(2.0)
+
+
+def test_timeout_expires_dead_routes():
+    sim = Simulator(seed=63)
+    fabric, platforms, routers, ifmap = build_topology(sim, [("a", "b"), ("b", "c")])
+    configure_rip(routers, update_interval=5.0, timeout=15.0)
+    sim.run(until=40.0)
+    bc_prefix = ifmap[("b", "c")][0].prefix
+    assert routers["a"].rib.best(bc_prefix) is not None
+    fabric.fail(platforms["a"], "to_b")
+    sim.run(until=100.0)
+    assert routers["a"].rib.best(bc_prefix) is None
+
+
+def test_reroute_around_failure():
+    sim = Simulator(seed=64)
+    edges = [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")]
+    fabric, platforms, routers, ifmap = build_topology(sim, edges)
+    configure_rip(routers, update_interval=5.0, timeout=15.0)
+    sim.run(until=60.0)
+    bd_prefix = ifmap[("b", "d")][0].prefix
+    assert routers["a"].rib.best(bd_prefix).nexthop == ifmap[("a", "b")][1].address
+    fabric.fail(platforms["a"], "to_b")
+    sim.run(until=150.0)
+    best = routers["a"].rib.best(bd_prefix)
+    assert best is not None
+    assert best.nexthop == ifmap[("a", "c")][1].address
+
+
+def test_split_horizon_poisons_reverse():
+    """b must advertise a-learned routes back to a with metric 16."""
+    sim = Simulator(seed=65)
+    fabric, platforms, routers, ifmap = build_topology(sim, [("a", "b")])
+    configure_rip(routers)
+    received = []
+
+    def spy(iface, packet):
+        if packet.payload.tag == "rip" and iface.name == "to_b":
+            received.append(packet.payload.data)
+
+    platforms["a"].register_receiver(spy)
+    sim.run(until=30.0)
+    assert received
+    ab_key = ifmap[("a", "b")][0].prefix.key
+    # In b's advertisements to a, nothing learned *from a* appears with
+    # a finite metric (the shared subnet is connected on b, metric 0).
+    for update in received:
+        for pfx, metric in update.entries:
+            if pfx.key == ab_key:
+                assert metric in (0, 16)

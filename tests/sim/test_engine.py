@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(2.0, order.append, "late")
+    sim.at(1.0, order.append, "early")
+    sim.at(1.5, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_ties_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.at(1.0, order.append, name)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(3.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.25]
+    assert sim.now == 3.25
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_nested_scheduling_from_event():
+    sim = Simulator()
+    hits = []
+
+    def outer():
+        hits.append(("outer", sim.now))
+        sim.at(1.0, inner)
+
+    def inner():
+        hits.append(("inner", sim.now))
+
+    sim.at(1.0, outer)
+    sim.run()
+    assert hits == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert not event.active
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.at(-0.1, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.at(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    # Remaining events still pending.
+    assert sim.pending == 1
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    event = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.at(1.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    sim.at(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_deterministic_rng_streams():
+    sim_a = Simulator(seed=42)
+    sim_b = Simulator(seed=42)
+    draws_a = [sim_a.rng("ospf").random() for _ in range(5)]
+    draws_b = [sim_b.rng("ospf").random() for _ in range(5)]
+    assert draws_a == draws_b
+    # Distinct streams are decorrelated.
+    assert draws_a != [sim_a.rng("tcp").random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    assert (
+        Simulator(seed=1).rng("x").random()
+        != Simulator(seed=2).rng("x").random()
+    )

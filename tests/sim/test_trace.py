@@ -1,0 +1,49 @@
+"""Unit tests for the trace collector."""
+
+from repro.sim import Simulator
+
+
+def test_log_records_time_and_fields():
+    sim = Simulator()
+    sim.at(2.0, lambda: sim.trace.log("ping", rtt=0.076, dst="seattle"))
+    sim.run()
+    (record,) = sim.trace.records
+    assert record.time == 2.0
+    assert record.kind == "ping"
+    assert record["rtt"] == 0.076
+    assert record.get("missing", 13) == 13
+
+
+def test_select_filters_by_kind_and_fields():
+    sim = Simulator()
+    sim.trace.log("drop", node="a")
+    sim.trace.log("drop", node="b")
+    sim.trace.log("send", node="a")
+    assert sim.trace.count("drop") == 2
+    assert sim.trace.count("drop", node="a") == 1
+    assert [r["node"] for r in sim.trace.select("drop")] == ["a", "b"]
+
+
+def test_subscribe_and_unsubscribe():
+    sim = Simulator()
+    seen = []
+    callback = seen.append
+    sim.trace.subscribe("x", callback)
+    sim.trace.log("x", n=1)
+    sim.trace.unsubscribe("x", callback)
+    sim.trace.log("x", n=2)
+    assert [r["n"] for r in seen] == [1]
+
+
+def test_disabled_collector_drops_records():
+    sim = Simulator()
+    sim.trace.enabled = False
+    assert sim.trace.log("x") is None
+    assert len(sim.trace) == 0
+
+
+def test_clear():
+    sim = Simulator()
+    sim.trace.log("x")
+    sim.trace.clear()
+    assert len(sim.trace) == 0
