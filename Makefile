@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test tier2-bench-smoke bench
+
+# Tier-1: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tier-2: every benchmark cell at tiny scale (seconds, not minutes).
+# Catches broken benchmarks without paying for a real perf run.
+tier2-bench-smoke:
+	$(PYTHON) -m pytest -q -m tier2_bench_smoke tests/benchmarks
+
+# Full perf run: shards cells across cores and appends to
+# benchmarks/results/BENCH_core.json.
+bench:
+	$(PYTHON) benchmarks/runner.py

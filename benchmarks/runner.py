@@ -1,0 +1,214 @@
+"""Multiprocess scenario runner: shard (bench x config x seed) cells
+across cores and aggregate one perf-trajectory artifact.
+
+The seed ran every benchmark serially inside one interpreter. This
+runner treats each (bench, config, seed) triple as an independent
+*cell*, dispatches cells over a ``multiprocessing.Pool``, and folds the
+results into ``benchmarks/results/BENCH_core.json`` — an append-style
+artifact whose ``runs`` list records one entry per invocation, so the
+performance trajectory of the repo is visible across commits.
+
+Cells must be pure functions of (config, seed, scale): the runner
+asserts nothing about execution order, and ``--workers N`` must produce
+the same deterministic ``metrics`` as ``--workers 1`` (covered by
+``tests/benchmarks/test_runner.py``). Wall-clock ``perf`` numbers are
+machine-dependent and excluded from that comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runner.py --workers 4
+    PYTHONPATH=src python benchmarks/runner.py --scale 0.1 --dry-run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_ROOT, os.path.join(_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from benchmarks import bench_core_engine as core  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+DEFAULT_ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_core.json")
+
+# bench name -> (cell function, configs)
+BENCHES = {
+    "engine": (core.run_engine_cell, ("wheel", "heap", "legacy")),
+    "packet": (core.run_packet_cell, ("cow", "deep")),
+    "lookup": (core.run_lookup_cell, ("radix",)),
+}
+
+
+def default_cells(scale: float = 1.0, seeds=(0, 1)) -> List[dict]:
+    """The full grid. Engine cells sweep every seed (their workload is
+    rng-free but seed-tagged for the artifact); packet/lookup cells run
+    the first seed only."""
+    cells = []
+    for bench, (_fn, configs) in BENCHES.items():
+        bench_seeds = seeds if bench == "engine" else seeds[:1]
+        for config in configs:
+            for seed in bench_seeds:
+                cells.append(
+                    {"bench": bench, "config": config, "seed": seed, "scale": scale}
+                )
+    return cells
+
+
+def run_cell(spec: dict) -> dict:
+    """Execute one cell. Top-level so Pool workers can pickle it."""
+    fn = BENCHES[spec["bench"]][0]
+    result = fn(spec["config"], spec["seed"], spec["scale"])
+    return dict(spec, **result)
+
+
+def run_cells(cells: List[dict], workers: int = 1) -> List[dict]:
+    """Run cells, sharded across ``workers`` processes.
+
+    ``Pool.map`` preserves input order, so the result list is identical
+    to the sequential one regardless of which worker ran which cell.
+    """
+    if workers <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
+        return pool.map(run_cell, cells)
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _rate(results: List[dict], bench: str, config: str, key: str) -> float:
+    return _mean(
+        [
+            r["perf"][key]
+            for r in results
+            if r["bench"] == bench and r["config"] == config
+        ]
+    )
+
+
+def aggregate(results: List[dict]) -> dict:
+    """Fold cell results into a summary plus the raw cells."""
+    events = {
+        config: _rate(results, "engine", config, "events_per_sec")
+        for config in BENCHES["engine"][1]
+    }
+    fanout = {
+        config: _rate(results, "packet", config, "fanout_packets_per_sec")
+        for config in BENCHES["packet"][1]
+    }
+    forward = {
+        config: _rate(results, "packet", config, "forward_packets_per_sec")
+        for config in BENCHES["packet"][1]
+    }
+    summary = {
+        "events_per_sec": events,
+        "engine_speedup": events["wheel"] / events["legacy"]
+        if events.get("legacy")
+        else 0.0,
+        "fanout_packets_per_sec": fanout,
+        "forward_packets_per_sec": forward,
+        "packet_speedup": fanout["cow"] / fanout["deep"] if fanout.get("deep") else 0.0,
+        "lookups_per_sec": _rate(results, "lookup", "radix", "lookups_per_sec"),
+    }
+    return {"summary": summary, "cells": results}
+
+
+def write_artifact(entry: dict, path: str = DEFAULT_ARTIFACT) -> str:
+    """Append one run entry to the perf-trajectory artifact."""
+    artifact = {"schema": 1, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded.get("runs"), list):
+                artifact = loaded
+        except (ValueError, OSError):
+            pass  # corrupt artifact: start a fresh trajectory
+    artifact["runs"].append(entry)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _git_head() -> Optional[str]:
+    head = os.path.join(_ROOT, ".git", "HEAD")
+    try:
+        with open(head) as handle:
+            ref = handle.read().strip()
+        if ref.startswith("ref: "):
+            with open(os.path.join(_ROOT, ".git", ref[5:])) as handle:
+                return handle.read().strip()[:12]
+        return ref[:12]
+    except OSError:
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=max(1, os.cpu_count() or 1),
+                        help="process pool size (1 = sequential)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (0.1 = quick smoke)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1],
+                        help="seeds for the engine sweep")
+    parser.add_argument("--out", default=DEFAULT_ARTIFACT,
+                        help="perf-trajectory artifact path")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="run and print, but do not touch the artifact")
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+
+    cells = default_cells(scale=args.scale, seeds=tuple(args.seeds))
+    print(f"running {len(cells)} cells across {args.workers} worker(s) "
+          f"(scale={args.scale}) ...")
+    start = time.perf_counter()
+    results = run_cells(cells, workers=args.workers)
+    wall = time.perf_counter() - start
+    report = aggregate(results)
+    summary: Dict = report["summary"]
+
+    print(f"done in {wall:.2f}s")
+    for config, rate in summary["events_per_sec"].items():
+        print(f"  engine [{config:<6}] {rate:>12,.0f} events/sec")
+    print(f"  engine speedup (wheel vs legacy seed): "
+          f"{summary['engine_speedup']:.2f}x")
+    for config in BENCHES["packet"][1]:
+        print(f"  packet [{config:<6}] fan-out "
+              f"{summary['fanout_packets_per_sec'][config]:>12,.0f} pkts/sec, "
+              f"forward {summary['forward_packets_per_sec'][config]:>12,.0f} pkts/sec")
+    print(f"  packet speedup (cow vs deep fan-out): "
+          f"{summary['packet_speedup']:.2f}x")
+    print(f"  lookup [radix ] {summary['lookups_per_sec']:>12,.0f} lookups/sec")
+
+    if not args.dry_run:
+        entry = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "commit": _git_head(),
+            "python": platform.python_version(),
+            "workers": args.workers,
+            "scale": args.scale,
+            "wall_s": round(wall, 3),
+            "summary": summary,
+            "cells": results,
+        }
+        path = write_artifact(entry, args.out)
+        print(f"artifact: {path} ({len(json.load(open(path))['runs'])} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.click.element import Element
-from repro.net.packet import Packet
+from repro.net.packet import IPv4Header, Packet
 
 
 class CheckIPHeader(Element):
@@ -42,5 +42,5 @@ class DecIPTTL(Element):
             else:
                 self.router.trace_drop(packet, "ttl_expired")
             return
-        header.ttl -= 1
+        packet.writable(IPv4Header).ttl -= 1
         self.output(0).push(packet)

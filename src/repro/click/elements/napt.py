@@ -109,6 +109,11 @@ class NAPT(Element):
             header.dst,
             dport,
         )
+        # Materialize private headers before rewriting (copy-on-write);
+        # re-fetch them since uniqueify replaces the shared objects.
+        packet.uniqueify()
+        header = packet.ip
+        transport = packet.tcp if proto == PROTO_TCP else packet.udp
         header.src = self.public_addr
         transport.sport = public_port
         self.translated_out += 1
@@ -133,7 +138,9 @@ class NAPT(Element):
             # Restricted-cone behavior: only the mapped remote may reply.
             self.router.trace_drop(packet, "napt_wrong_remote")
             return
+        packet.uniqueify()
         packet.ip.dst = private_addr
+        transport = packet.tcp if proto == PROTO_TCP else packet.udp
         transport.dport = private_port
         self.translated_in += 1
         self.output(1).push(packet)

@@ -114,8 +114,11 @@ class IPv4Header(Header):
         self.ident = ident
         self.total_length = total_length  # filled in by pack()/Packet
 
-    def pack(self, payload_length: int = 0) -> bytes:
-        total = self.total_length or (self.length + payload_length)
+    def pack(self, payload_length: int = 0, total_length: Optional[int] = None) -> bytes:
+        if total_length is not None:
+            total = total_length
+        else:
+            total = self.total_length or (self.length + payload_length)
         head = struct.pack(
             "!BBHHHBBH4s4s",
             (4 << 4) | 5,  # version, IHL
@@ -347,7 +350,7 @@ class Packet:
     and consumed by the encapsulation table).
     """
 
-    __slots__ = ("headers", "payload", "meta", "uid", "created_at", "_wire_len")
+    __slots__ = ("headers", "payload", "meta", "uid", "created_at", "_wire_len", "_cow")
 
     def __init__(
         self,
@@ -362,6 +365,7 @@ class Packet:
         self.uid = next(_packet_ids)
         self.created_at = created_at
         self._wire_len: Optional[int] = None  # cache; see wire_len
+        self._cow = False  # headers may be shared with another packet
 
     # ------------------------------------------------------------------
     # Header stack manipulation
@@ -436,14 +440,60 @@ class Packet:
             self._wire_len = length
         return length
 
-    def copy(self) -> "Packet":
-        clone = Packet(
-            headers=[h.copy() for h in self.headers],
-            payload=self.payload.copy(),
-            meta=dict(self.meta),
-            created_at=self.created_at,
-        )
+    def copy(self, deep: bool = False) -> "Packet":
+        """Clone the packet.
+
+        The default is copy-on-write, mirroring Click's packet sharing:
+        the clone shares the header objects (and the payload) with the
+        original, and whichever side first *mutates* a header
+        materializes private copies via :meth:`writable` /
+        :meth:`uniqueify`. Per-hop fan-out (Tee, tcpdump taps) therefore
+        never deep-copies headers it only reads. ``deep=True`` forces an
+        eager full copy.
+
+        The header *stacks* are independent either way: ``encap`` /
+        ``decap`` on one side never affect the other.
+        """
+        if deep:
+            return Packet(
+                headers=[h.copy() for h in self.headers],
+                payload=self.payload.copy(),
+                meta=dict(self.meta),
+                created_at=self.created_at,
+            )
+        clone = Packet.__new__(Packet)
+        clone.headers = list(self.headers)
+        clone.payload = self.payload
+        clone.meta = dict(self.meta) if self.meta else {}
+        clone.uid = next(_packet_ids)
+        clone.created_at = self.created_at
+        clone._wire_len = self._wire_len
+        clone._cow = True
+        self._cow = True
         return clone
+
+    def uniqueify(self) -> "Packet":
+        """Ensure this packet's headers are private (Click's uniqueify).
+
+        A no-op unless the packet shares headers with a copy-on-write
+        sibling; then every header is materialized once.
+        """
+        if self._cow:
+            self.headers = [h.copy() for h in self.headers]
+            self._cow = False
+        return self
+
+    def writable(self, header_type: Type[H], nth: int = 0) -> Optional[H]:
+        """The ``nth`` header of ``header_type``, safe to mutate.
+
+        Reading through :meth:`find` (or ``.ip``/``.tcp``/...) on a
+        shared packet is free; any code that *writes* a header field
+        must fetch it through here so the mutate-on-write fault can
+        materialize private copies first.
+        """
+        if self._cow:
+            self.uniqueify()
+        return self.find(header_type, nth)
 
     # ------------------------------------------------------------------
     # Wire format (tests, tcpdump)
@@ -453,8 +503,10 @@ class Packet:
         data = b"\x00" * self.payload.size
         for header in reversed(self.headers):
             if isinstance(header, IPv4Header):
-                header.total_length = header.length + len(data)
-                data = header.pack(payload_length=len(data)) + data
+                # Pass the total explicitly instead of stamping it on the
+                # header: the header object may be shared copy-on-write.
+                data = header.pack(payload_length=len(data),
+                                   total_length=header.length + len(data)) + data
             elif isinstance(header, (UDPHeader, TCPHeader)):
                 enclosing = self._enclosing_ip(header)
                 src = int(enclosing.src) if enclosing else 0

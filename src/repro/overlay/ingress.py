@@ -15,7 +15,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.virtual_network import FIB_FORWARD, VirtualNode
 from repro.net.addr import IPv4Address, Prefix, ip
-from repro.net.packet import OpaquePayload, Packet
+from repro.net.packet import IPv4Header, OpaquePayload, Packet
 from repro.phys.node import PhysicalNode
 from repro.phys.vserver import Slice
 
@@ -114,7 +114,7 @@ class OpenVPNServer:
         # The client stamps its leased address as source (it learned it
         # at connect time); enforce it like OpenVPN's iroute check.
         if inner.ip is not None and int(inner.ip.src) != int(leased):
-            inner.ip.src = leased
+            inner.writable(IPv4Header).src = leased
         self.rx_packets += 1
         # Inject into the data plane (FIB decides where it goes).
         self.vnode.click_process.exec_after(

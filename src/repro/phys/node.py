@@ -449,7 +449,7 @@ class PhysicalNode:
         if found is None:
             self._icmp_error(packet, ICMP_DEST_UNREACHABLE)
             return
-        header.ttl -= 1
+        packet.writable(IPv4Header).ttl -= 1
         self.forwarded += 1
         route: Route = found[1]
         route.interface.transmit(packet)
@@ -596,7 +596,7 @@ class PhysicalNode:
             return False
         route: Route = found[1]
         if packet.ip.src == 0 and route.interface.address is not None:
-            packet.ip.src = route.interface.address
+            packet.writable(IPv4Header).src = route.interface.address
         return route.interface.transmit(packet)
 
     def tap_input(self, tap: TapDevice, packet: Packet) -> None:

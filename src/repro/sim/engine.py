@@ -1,45 +1,97 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns a priority queue of timestamped events. Each
-event is a plain callback; there are no threads and no real time. Code
-that needs randomness draws it from named, seeded streams
+A :class:`Simulator` owns the pending-event set. Each event is a plain
+callback; there are no threads and no real time. Code that needs
+randomness draws it from named, seeded streams
 (:class:`repro.sim.rand.RandomStreams`) so that two runs with the same
 seed produce byte-identical traces.
+
+Two queue structures back the engine:
+
+* a **timer wheel** (calendar queue) for events within a short horizon
+  of the clock — the dominant population: OSPF hellos, CPU-scheduler
+  quanta, per-hop packet callbacks. Insertion is an O(1) list append;
+  ordering inside a slot is recovered with one C-level sort when the
+  cursor reaches the slot.
+* an **overflow heap** for events beyond the wheel horizon (LSA
+  refresh, long ping deadlines). Cancelled entries are compacted away
+  once they exceed a threshold fraction of the heap, so
+  cancellation-churn (restartable dead timers, TCP RTO) cannot bloat
+  it.
+
+Both structures drain through one strict ``(time, seq)`` merge, so the
+event order — and therefore every trace — is byte-identical to a
+heap-only run (``Simulator(wheel=False)``); the golden-trace test
+enforces this.
 """
 
 from __future__ import annotations
 
 import heapq
+from operator import attrgetter
 from typing import Any, Callable, List, Optional
 
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceCollector
 
+_event_key = attrgetter("time", "seq")
+
+# Event.where codes: where the event currently lives. _FREE also covers
+# "already fired" and "cancelled and accounted for".
+_FREE, _IN_HEAP, _IN_WHEEL, _IN_BUCKET = 0, 1, 2, 3
+
 
 class Event:
     """A handle to a scheduled callback.
 
-    Cancellation is lazy: :meth:`cancel` marks the event dead and the
-    engine discards it when it reaches the head of the queue. This keeps
-    scheduling O(log n) with no heap surgery.
+    Cancellation is O(1): the event is marked dead, the live-event
+    counter drops immediately, and the queue entry is discarded lazily
+    (heap head / slot drain), with bulk compaction if corpses pile up.
+
+    ``interval`` > 0 makes the event periodic: the engine re-arms it in
+    place after each firing, with a fresh sequence number, so periodic
+    timers allocate nothing per tick.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "interval", "sim", "where")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 sim: Optional["Simulator"] = None, interval: float = 0.0):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.interval = interval
+        self.sim = sim
+        self.where = _FREE
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call twice."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        # Drop references so cancelled events pinned in the heap do not
+        self.interval = 0.0
+        # Drop references so cancelled events pinned in a queue do not
         # keep packets / closures alive.
         self.fn = _noop
         self.args = ()
+        where = self.where
+        if where:
+            self.where = _FREE
+            sim = self.sim
+            sim._live -= 1
+            if where == _IN_HEAP:
+                sim._heap_cancelled += 1
+                threshold = sim._compact_threshold
+                if (
+                    threshold is not None
+                    and sim._heap_cancelled > 64
+                    and sim._heap_cancelled > threshold * len(sim._heap)
+                ):
+                    sim._compact_heap()
+            elif where == _IN_WHEEL:
+                sim._wheel_cancelled += 1
 
     @property
     def active(self) -> bool:
@@ -66,6 +118,18 @@ class Simulator:
     ----------
     seed:
         Master seed for all named random streams.
+    wheel:
+        Use the timer-wheel fast path (default). ``False`` falls back to
+        the heap-only engine; event order is identical either way.
+    wheel_width, wheel_slots:
+        Slot width in simulated seconds and slot count (rounded up to a
+        power of two). The product is the wheel horizon; events beyond
+        it overflow to the heap. The default 2048 x 10 ms covers ~20 s —
+        comfortably past hello intervals and scheduler quanta.
+    compact_threshold:
+        Compact the overflow heap when cancelled entries exceed this
+        fraction of it. ``None`` disables compaction (the seed engine's
+        behavior, kept for benchmarking).
 
     Attributes
     ----------
@@ -76,15 +140,49 @@ class Simulator:
         record measurements.
     """
 
-    def __init__(self, seed: int = 0):
+    #: Class-wide default for the ``wheel`` argument; the golden-trace
+    #: test flips this to run a whole scenario on either engine.
+    default_wheel = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        wheel: Optional[bool] = None,
+        wheel_width: float = 0.01,
+        wheel_slots: int = 2048,
+        compact_threshold: Optional[float] = 0.25,
+    ):
         self.now: float = 0.0
         self.seed = seed
         self.random = RandomStreams(seed)
         self.trace = TraceCollector(self)
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        # Set whenever a drain-in-progress may need to re-examine its
+        # slot: stop() was called, or an insert lowered the cursor.
+        # Lets the hot loop poll one flag instead of two conditions.
+        self._disturbed = False
+        self._live = 0
+        self._heap_cancelled = 0
+        self._compact_threshold = compact_threshold
+        if wheel is None:
+            wheel = type(self).default_wheel
+        if wheel:
+            n_slots = 1
+            while n_slots < wheel_slots:
+                n_slots <<= 1
+            self._wheel: Optional[List[List[Event]]] = [[] for _ in range(n_slots)]
+            self._n_slots = n_slots
+            self._mask = n_slots - 1
+            self._width = float(wheel_width)
+            self._inv_width = 1.0 / self._width
+            self._cursor = 0  # absolute slot index lower bound of wheel content
+            self._wheel_count = 0  # entries in wheel lists, incl. cancelled
+            self._wheel_cancelled = 0
+        else:
+            self._wheel = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -99,11 +197,10 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time:.9f}, now is t={self.now:.9f}"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        # Heap entries are (time, seq, event) tuples: tuple comparison
-        # runs in C, which matters at millions of events per run.
-        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._live += 1
+        self._insert(event)
         return event
 
     def at(self, delay: float, fn: Callable, *args: Any) -> Event:
@@ -115,6 +212,67 @@ class Simulator:
     def call_soon(self, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` at the current time, after pending events."""
         return self.schedule(self.now, fn, *args)
+
+    def schedule_periodic(self, interval: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` every ``interval`` seconds, starting one
+        interval from now.
+
+        The engine re-arms the returned event in place after each
+        firing (fresh sequence number, no allocation). Cancel it to
+        stop the series.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._seq = seq = self._seq + 1
+        event = Event(self.now + interval, seq, fn, args, self, interval)
+        self._live += 1
+        self._insert(event)
+        return event
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Re-arm a fired event at ``time`` without allocating a new one.
+
+        Only valid for an event that is not queued (i.e. it has fired)
+        and was not cancelled; :class:`repro.sim.timer.PeriodicTimer`
+        uses this to avoid a per-tick Event allocation.
+        """
+        if event.where:
+            raise RuntimeError("cannot reschedule an event that is still queued")
+        if event.cancelled:
+            raise RuntimeError("cannot reschedule a cancelled event")
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time:.9f}, now is t={self.now:.9f}"
+            )
+        self._seq = seq = self._seq + 1
+        event.time = time
+        event.seq = seq
+        self._live += 1
+        self._insert(event)
+        return event
+
+    def _insert(self, event: Event) -> None:
+        wheel = self._wheel
+        if wheel is not None:
+            inv = self._inv_width
+            slot = int(event.time * inv)
+            if slot - int(self.now * inv) < self._n_slots:
+                if slot < self._cursor:
+                    self._cursor = slot
+                    self._disturbed = True
+                wheel[slot & self._mask].append(event)
+                event.where = _IN_WHEEL
+                self._wheel_count += 1
+                return
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        event.where = _IN_HEAP
+
+    def _compact_heap(self) -> None:
+        # In place: run() holds a local alias to the heap list.
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._heap_cancelled = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -130,55 +288,310 @@ class Simulator:
             raise RuntimeError("simulator is re-entrant: run() called from event")
         self._running = True
         self._stopped = False
-        heap = self._heap
-        pop = heapq.heappop
+        self._disturbed = False
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                event = entry[2]
-                if event.cancelled:
-                    pop(heap)
-                    continue
-                if until is not None and entry[0] > until:
-                    break
-                pop(heap)
-                self.now = entry[0]
-                event.fn(*event.args)
+            if self._wheel is None:
+                self._run_heap_only(until)
+            else:
+                self._run_hybrid(until)
         finally:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
         return self.now
 
+    def _run_heap_only(self, until: Optional[float]) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and not self._stopped:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                pop(heap)
+                self._heap_cancelled -= 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                break
+            pop(heap)
+            self.now = time
+            event.where = _FREE
+            self._live -= 1
+            interval = event.interval
+            if interval:
+                self._seq = seq = self._seq + 1
+                event.seq = seq
+                event.time = time + interval
+                self._live += 1
+                self._insert(event)
+            event.fn(*event.args)
+
+    def _run_hybrid(self, until: Optional[float]) -> None:
+        heap = self._heap
+        wheel = self._wheel
+        mask = self._mask
+        n_slots = self._n_slots
+        inv = self._inv_width
+        pop = heapq.heappop
+        push = heapq.heappush
+        key = _event_key
+        bound = float("inf") if until is None else until
+        while not self._stopped:
+            # Drop dead heap heads so heap[0] is a live lower bound.
+            while heap and heap[0][2].cancelled:
+                pop(heap)
+                self._heap_cancelled -= 1
+            if not self._wheel_count:
+                # Wheel empty: plain heap step.
+                if not heap:
+                    return
+                entry = heap[0]
+                time = entry[0]
+                if time > bound:
+                    return
+                pop(heap)
+                event = entry[2]
+                self.now = time
+                interval = event.interval
+                if interval:
+                    # Re-arm in place: the event stays live, so the
+                    # _live counter and where code need no round-trip.
+                    self._seq = seq = self._seq + 1
+                    event.seq = seq
+                    event.time = time + interval
+                    self._insert(event)
+                else:
+                    event.where = _FREE
+                    self._live -= 1
+                event.fn(*event.args)
+                continue
+            # Find the next occupied ring slot, scanning from the cursor.
+            cur = self._cursor
+            while not wheel[cur & mask]:
+                cur += 1
+            ring_slot = cur & mask
+            bucket = wheel[ring_slot]
+            wheel[ring_slot] = []
+            self._wheel_count -= len(bucket)
+            live: List[Event] = []
+            append = live.append
+            dead = 0
+            for event in bucket:
+                if event.cancelled:
+                    dead += 1
+                else:
+                    event.where = _IN_BUCKET
+                    append(event)
+            self._wheel_cancelled -= dead
+            self._cursor = cur + 1
+            if not live:
+                continue
+            live.sort(key=key)
+            i = 0
+            n = len(live)
+            while i < n:
+                event = live[i]
+                if event.cancelled:
+                    i += 1
+                    continue
+                time = event.time
+                seq = event.seq
+                # dirty: a callback touched the slot being drained.
+                # 1 = inserts landed in this slot (merge and continue),
+                # 2 = inserts landed in an earlier slot, or stop() was
+                #     called (push the remainder back and rescan).
+                dirty = 0
+                # Run heap events that precede this wheel event.
+                while heap:
+                    entry = heap[0]
+                    head = entry[2]
+                    if head.cancelled:
+                        pop(heap)
+                        self._heap_cancelled -= 1
+                        continue
+                    htime = entry[0]
+                    if htime > time or (htime == time and entry[1] > seq):
+                        break
+                    if htime > bound:
+                        break
+                    pop(heap)
+                    self.now = htime
+                    hinterval = head.interval
+                    if hinterval:
+                        self._seq = hseq = self._seq + 1
+                        head.seq = hseq
+                        head.time = htime + hinterval
+                        self._insert(head)
+                    else:
+                        head.where = _FREE
+                        self._live -= 1
+                    head.fn(*head.args)
+                    if self._disturbed:
+                        self._disturbed = False
+                        if self._stopped:
+                            dirty = 2
+                            break
+                        cursor = self._cursor
+                        if cursor <= cur:
+                            dirty = 1 if cursor == cur else 2
+                            break
+                if not dirty:
+                    if time > bound:
+                        self._pushback(live, i, ring_slot, cur)
+                        return
+                    self.now = time
+                    i += 1
+                    interval = event.interval
+                    if interval:
+                        self._seq = seq = self._seq + 1
+                        event.seq = seq
+                        next_time = time + interval
+                        event.time = next_time
+                        slot = int(next_time * inv)
+                        # ``time`` is in slot ``cur`` by construction (it
+                        # was binned into this bucket by the same int()
+                        # of the same float), so the horizon test can
+                        # use ``cur`` directly.
+                        if slot - cur < n_slots:
+                            if slot < self._cursor:
+                                self._cursor = slot
+                                self._disturbed = True
+                            wheel[slot & mask].append(event)
+                            event.where = _IN_WHEEL
+                            self._wheel_count += 1
+                        else:
+                            push(heap, (next_time, seq, event))
+                            event.where = _IN_HEAP
+                    else:
+                        event.where = _FREE
+                        self._live -= 1
+                    event.fn(*event.args)
+                    if self._disturbed:
+                        self._disturbed = False
+                        if self._stopped:
+                            dirty = 2
+                        else:
+                            cursor = self._cursor
+                            if cursor <= cur:
+                                dirty = 1 if cursor == cur else 2
+                if dirty == 1:
+                    # New arrivals in the slot being drained (sub-width
+                    # periodic timers, call_soon): fold them into the
+                    # remaining work and keep going.
+                    arrivals = wheel[ring_slot]
+                    wheel[ring_slot] = []
+                    self._wheel_count -= len(arrivals)
+                    dead = 0
+                    fresh = live[i:]
+                    for event in arrivals:
+                        if event.cancelled:
+                            dead += 1
+                        else:
+                            event.where = _IN_BUCKET
+                            fresh.append(event)
+                    self._wheel_cancelled -= dead
+                    fresh.sort(key=key)
+                    live = fresh
+                    i = 0
+                    n = len(live)
+                    self._cursor = cur + 1
+                elif dirty == 2:
+                    self._pushback(live, i, ring_slot, cur)
+                    break
+
+    def _pushback(self, live: List[Event], i: int, ring_slot: int, cur: int) -> None:
+        """Return the undrained tail of a bucket to its wheel slot."""
+        rest = [event for event in live[i:] if not event.cancelled]
+        for event in rest:
+            event.where = _IN_WHEEL
+        self._wheel[ring_slot].extend(rest)
+        self._wheel_count += len(rest)
+        if self._cursor > cur:
+            self._cursor = cur
+
     def step(self) -> bool:
         """Execute the single next event. Returns False if queue empty."""
-        while self._heap:
-            time, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = time
-            event.fn(*event.args)
-            return True
-        return False
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._heap_cancelled -= 1
+        wheel_min = self._wheel_min()
+        heap = self._heap
+        if wheel_min is not None and (
+            not heap or (wheel_min.time, wheel_min.seq) < (heap[0][0], heap[0][1])
+        ):
+            bucket = self._wheel[self._cursor & self._mask]
+            bucket.remove(wheel_min)
+            self._wheel_count -= 1
+            event = wheel_min
+        elif heap:
+            event = heapq.heappop(heap)[2]
+        else:
+            return False
+        time = event.time
+        self.now = time
+        event.where = _FREE
+        self._live -= 1
+        interval = event.interval
+        if interval:
+            self._seq = seq = self._seq + 1
+            event.seq = seq
+            event.time = time + interval
+            self._live += 1
+            self._insert(event)
+        event.fn(*event.args)
+        return True
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
         self._stopped = True
+        self._disturbed = True
+
+    def _wheel_min(self) -> Optional[Event]:
+        """Earliest live wheel event (left in place), advancing the
+        cursor past empty and fully-cancelled slots."""
+        if self._wheel is None or not self._wheel_count:
+            return None
+        wheel = self._wheel
+        mask = self._mask
+        cur = self._cursor
+        while self._wheel_count:
+            bucket = wheel[cur & mask]
+            if bucket:
+                live = [event for event in bucket if not event.cancelled]
+                if len(live) != len(bucket):
+                    removed = len(bucket) - len(live)
+                    self._wheel_cancelled -= removed
+                    self._wheel_count -= removed
+                    bucket[:] = live
+                if live:
+                    self._cursor = cur
+                    return min(live, key=_event_key)
+            cur += 1
+        self._cursor = cur
+        return None
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._heap_cancelled -= 1
+        wheel_min = self._wheel_min()
+        if wheel_min is None:
+            return heap[0][0] if heap else None
+        if heap and (heap[0][0], heap[0][1]) < (wheel_min.time, wheel_min.seq):
+            return heap[0][0]
+        return wheel_min.time
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        """Number of scheduled (non-cancelled) events. O(1): a live
+        counter maintained by schedule/cancel/execution."""
+        return self._live
 
     def rng(self, stream: str):
         """Named deterministic random stream (see RandomStreams)."""
         return self.random.stream(stream)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator t={self.now:.6f} pending={self._live}>"

@@ -52,14 +52,20 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if not self._running:
             return
-        self._event = self.sim.at(self._next_delay(), self._fire)
+        # Re-arm the fired event in place: no Event allocation per tick.
+        self.sim.reschedule(self._event, self.sim.now + self._next_delay())
         self.fn()
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self._event = self.sim.at(self._next_delay(), self._fire)
+        if self.jitter == 0.0:
+            # Fixed period: let the engine re-arm the event itself, with
+            # no per-tick Python timer machinery at all.
+            self._event = self.sim.schedule_periodic(self.interval, self.fn)
+        else:
+            self._event = self.sim.at(self._next_delay(), self._fire)
 
     def stop(self) -> None:
         self._running = False

@@ -4,27 +4,56 @@ Tools (ping, iperf, tcpdump) and substrate components record timestamped
 records into the simulator's :class:`TraceCollector`. Benchmarks then
 query the collector to regenerate the paper's tables and figures. Live
 subscribers allow tests to assert on events as they happen.
+
+The collector sits on the per-packet hot path, so it is built for the
+common cases being cheap:
+
+* per-kind enablement is a bitmask over interned kind names — logging a
+  disabled kind is one dict lookup and a bit test, and allocates no
+  record;
+* ``select()``/``count()`` read a per-kind index instead of scanning
+  the full log;
+* records are ``__slots__`` objects, not dataclass instances.
+
+Call sites that would pay to *build* the fields of a record (string
+formatting, attribute chains) can guard on :meth:`TraceCollector.wants`
+first.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One timestamped measurement record."""
 
-    time: float
-    kind: str
-    fields: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Optional[Dict[str, Any]] = None):
+        self.time = time
+        self.kind = kind
+        self.fields = fields if fields is not None else {}
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceRecord)
+            and self.time == other.time
+            and self.kind == other.kind
+            and self.fields == other.fields
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.kind))
+
+    def __repr__(self) -> str:
+        return f"TraceRecord(time={self.time!r}, kind={self.kind!r}, fields={self.fields!r})"
 
 
 class TraceCollector:
@@ -34,16 +63,63 @@ class TraceCollector:
         self._sim = sim
         self.records: List[TraceRecord] = []
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._kind_bits: Dict[str, int] = {}
+        self._enabled_mask = 0
         self.enabled = True
 
+    # ------------------------------------------------------------------
+    # Kind interning and enablement
+    # ------------------------------------------------------------------
+    def _register(self, kind: str) -> int:
+        """Intern ``kind``: assign it a bit (enabled by default) and an
+        index list."""
+        bit = 1 << len(self._kind_bits)
+        self._kind_bits[kind] = bit
+        self._enabled_mask |= bit
+        self._by_kind[kind] = []
+        return bit
+
+    def enable(self, *kinds: str) -> None:
+        """Re-enable logging for the given kinds."""
+        for kind in kinds:
+            bit = self._kind_bits.get(kind) or self._register(kind)
+            self._enabled_mask |= bit
+
+    def disable(self, *kinds: str) -> None:
+        """Disable logging for the given kinds: ``log()`` becomes a bit
+        test, allocating nothing."""
+        for kind in kinds:
+            bit = self._kind_bits.get(kind) or self._register(kind)
+            self._enabled_mask &= ~bit
+
+    def wants(self, kind: str) -> bool:
+        """True if a ``log(kind, ...)`` would record anything. Hot call
+        sites guard on this before building expensive fields."""
+        if not self.enabled:
+            return False
+        bit = self._kind_bits.get(kind)
+        if bit is None:
+            bit = self._register(kind)
+        return bool(self._enabled_mask & bit)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def log(self, kind: str, **fields: Any) -> Optional[TraceRecord]:
         """Record an event of ``kind`` at the current simulated time."""
-        if not self.enabled:
+        bit = self._kind_bits.get(kind)
+        if bit is None:
+            bit = self._register(kind)
+        if not self.enabled or not (self._enabled_mask & bit):
             return None
         record = TraceRecord(self._sim.now, kind, fields)
         self.records.append(record)
-        for callback in self._subscribers.get(kind, ()):
-            callback(record)
+        self._by_kind[kind].append(record)
+        subscribers = self._subscribers.get(kind)
+        if subscribers:
+            for callback in subscribers:
+                callback(record)
         return record
 
     def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
@@ -55,19 +131,33 @@ class TraceCollector:
         if callback in callbacks:
             callbacks.remove(callback)
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def select(self, kind: str, **match: Any) -> Iterator[TraceRecord]:
         """All records of ``kind`` whose fields match ``match``."""
-        for record in self.records:
-            if record.kind != kind:
-                continue
-            if all(record.fields.get(k) == v for k, v in match.items()):
+        records = self._by_kind.get(kind)
+        if not records:
+            return
+        if not match:
+            yield from records
+            return
+        items = match.items()
+        for record in records:
+            fields = record.fields
+            if all(fields.get(k) == v for k, v in items):
                 yield record
 
     def count(self, kind: str, **match: Any) -> int:
+        if not match:
+            records = self._by_kind.get(kind)
+            return len(records) if records else 0
         return sum(1 for _ in self.select(kind, **match))
 
     def clear(self) -> None:
         self.records.clear()
+        for records in self._by_kind.values():
+            records.clear()
 
     def __len__(self) -> int:
         return len(self.records)

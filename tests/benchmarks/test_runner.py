@@ -1,0 +1,90 @@
+"""Tests for the multiprocess benchmark runner.
+
+The smoke tests (``tier2_bench_smoke`` marker, ``make tier2-bench-smoke``)
+run every bench cell at a tiny scale so a broken benchmark is caught in
+seconds without paying for a full perf run. The parity test is the
+runner's core contract: sharding cells across worker processes must not
+change any deterministic result.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.runner import (
+    BENCHES,
+    aggregate,
+    default_cells,
+    run_cell,
+    run_cells,
+    write_artifact,
+)
+
+TINY = 0.02  # keeps the whole smoke suite under ~5 seconds
+
+
+def _deterministic(results):
+    """Strip wall-clock fields; keep everything that must be stable."""
+    return [
+        {k: r[k] for k in ("bench", "config", "seed", "scale", "metrics")}
+        for r in results
+    ]
+
+
+@pytest.mark.tier2_bench_smoke
+def test_every_cell_runs_at_tiny_scale():
+    cells = default_cells(scale=TINY, seeds=(0,))
+    # One cell per (bench, config): every registered config is covered.
+    assert len(cells) == sum(len(configs) for _fn, configs in BENCHES.values())
+    results = run_cells(cells, workers=1)
+    for r in results:
+        assert r["perf"]["wall_s"] >= 0.0
+        assert r["metrics"]
+    summary = aggregate(results)["summary"]
+    assert summary["events_per_sec"]["wheel"] > 0
+    assert summary["lookups_per_sec"] > 0
+
+
+@pytest.mark.tier2_bench_smoke
+def test_parallel_matches_sequential():
+    cells = default_cells(scale=TINY, seeds=(0, 1))
+    sequential = run_cells(cells, workers=1)
+    parallel = run_cells(cells, workers=2)
+    assert _deterministic(sequential) == _deterministic(parallel)
+
+
+@pytest.mark.tier2_bench_smoke
+def test_engine_metrics_identical_across_configs():
+    """Wheel, heap, and the inlined seed engine run the same schedule."""
+    results = [
+        run_cell({"bench": "engine", "config": config, "seed": 0, "scale": 0.05})
+        for config in BENCHES["engine"][1]
+    ]
+    first = results[0]["metrics"]
+    for r in results[1:]:
+        assert r["metrics"] == first
+
+
+def test_artifact_appends_runs(tmp_path):
+    path = str(tmp_path / "BENCH_core.json")
+    write_artifact({"n": 1}, path)
+    write_artifact({"n": 2}, path)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["schema"] == 1
+    assert [run["n"] for run in data["runs"]] == [1, 2]
+
+
+def test_artifact_survives_corruption(tmp_path):
+    path = str(tmp_path / "BENCH_core.json")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    write_artifact({"n": 3}, path)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert [run["n"] for run in data["runs"]] == [3]
+
+
+def test_unknown_bench_config_rejected():
+    with pytest.raises(ValueError):
+        run_cell({"bench": "engine", "config": "bogus", "seed": 0, "scale": TINY})

@@ -63,15 +63,61 @@ class TestHeaderStack:
         assert pkt.find(IPv4Header, 2) is None
         assert pkt.find(TCPHeader) is None
 
-    def test_copy_is_deep_for_headers_and_meta(self):
+    def test_copy_isolates_header_writes_and_meta(self):
         pkt = make_udp_packet()
         pkt.meta["annotation"] = "x"
         clone = pkt.copy()
-        clone.ip.ttl = 1
+        clone.writable(IPv4Header).ttl = 1
         clone.meta["annotation"] = "y"
         assert pkt.ip.ttl == 64
         assert pkt.meta["annotation"] == "x"
         assert clone.uid != pkt.uid
+
+    def test_copy_is_copy_on_write(self):
+        pkt = make_udp_packet()
+        clone = pkt.copy()
+        # Headers are shared until someone writes ...
+        assert clone.ip is pkt.ip
+        assert clone.udp is pkt.udp
+        # ... then the writer materializes private copies, once.
+        header = clone.writable(IPv4Header)
+        assert header is not pkt.ip
+        assert header is clone.writable(IPv4Header)
+        header.ttl = 9
+        assert pkt.ip.ttl == 64
+        # The original's view is unchanged by the clone's write.
+        assert clone.ip.ttl == 9
+
+    def test_original_write_does_not_leak_into_clone(self):
+        pkt = make_udp_packet()
+        clone = pkt.copy()
+        pkt.writable(IPv4Header).ttl = 3
+        assert clone.ip.ttl == 64
+
+    def test_copy_stacks_are_independent(self):
+        pkt = make_udp_packet()
+        clone = pkt.copy()
+        clone.encap(IPv4Header("1.1.1.1", "2.2.2.2", PROTO_UDP))
+        assert len(pkt.headers) == 2
+        assert len(clone.headers) == 3
+        clone.decap()
+        clone.decap()
+        assert len(pkt.headers) == 2
+
+    def test_deep_copy_still_available(self):
+        pkt = make_udp_packet()
+        clone = pkt.copy(deep=True)
+        assert clone.ip is not pkt.ip
+        clone.ip.ttl = 1  # direct mutation is fine on a deep copy
+        assert pkt.ip.ttl == 64
+
+    def test_pack_does_not_mutate_shared_headers(self):
+        pkt = make_udp_packet()
+        clone = pkt.copy()
+        wire = clone.pack()
+        assert len(wire) == clone.wire_len
+        assert pkt.ip.total_length == 0  # pack() left the header alone
+        assert clone.ip is pkt.ip
 
     def test_payload_data_travels(self):
         pkt = Packet(payload=OpaquePayload(100, data={"t": 1.5}, tag="ping"))

@@ -184,3 +184,64 @@ def test_items_roundtrip(pfx_list):
         trie.insert(pfx, i)
         expected[pfx] = i
     assert dict(trie.items()) == expected
+
+
+# ----------------------------------------------------------------------
+# Edge cases: default route, /32 leaves, remove/lookup interactions.
+# ----------------------------------------------------------------------
+def test_default_route_matches_everything():
+    trie = RadixTrie()
+    trie.insert("0.0.0.0/0", "default")
+    assert trie.lookup("1.2.3.4") == "default"
+    assert trie.lookup("255.255.255.255") == "default"
+    trie.insert("10.0.0.0/8", "ten")
+    assert trie.lookup("10.9.9.9") == "ten"
+    assert trie.lookup("11.0.0.1") == "default"
+    pfx, value = trie.lookup_entry("11.0.0.1")
+    assert str(pfx) == "0.0.0.0/0" and value == "default"
+
+
+def test_host_route_leaf():
+    trie = RadixTrie()
+    trie.insert("192.168.1.0/24", "net")
+    trie.insert("192.168.1.77/32", "host")
+    assert trie.lookup("192.168.1.77") == "host"
+    assert trie.lookup("192.168.1.78") == "net"
+    assert trie.exact("192.168.1.77/32") == "host"
+    assert len(trie) == 2
+
+
+def test_insert_remove_lookup_sequence():
+    trie = RadixTrie()
+    trie.insert("10.0.0.0/8", "a")
+    trie.insert("10.1.0.0/16", "b")
+    trie.insert("10.1.2.0/24", "c")
+    assert trie.lookup("10.1.2.3") == "c"
+    assert trie.remove("10.1.2.0/24") == "c"
+    assert trie.lookup("10.1.2.3") == "b"
+    assert trie.remove("10.1.0.0/16") == "b"
+    assert trie.lookup("10.1.2.3") == "a"
+    assert trie.remove("10.0.0.0/8") == "a"
+    with pytest.raises(KeyError):
+        trie.lookup("10.1.2.3")
+    assert len(trie) == 0
+    # Reinsertion after full removal works.
+    trie.insert("10.1.0.0/16", "b2")
+    assert trie.lookup("10.1.2.3") == "b2"
+
+
+def test_lookup_after_remove_with_structural_nodes():
+    """remove() leaves structural nodes; they must stay invisible."""
+    trie = RadixTrie()
+    trie.insert("10.0.0.0/9", "left")
+    trie.insert("10.128.0.0/9", "right")  # forces a split node at /8
+    trie.insert("10.0.0.0/8", "parent")
+    assert trie.remove("10.0.0.0/9") == "left"
+    # The /9 node may remain structurally, but matches fall through to /8.
+    assert trie.lookup("10.5.0.1") == "parent"
+    assert "10.0.0.0/9" not in trie
+    with pytest.raises(KeyError):
+        trie.exact("10.0.0.0/9")
+    assert sorted(str(p) for p in trie.keys()) == ["10.0.0.0/8", "10.128.0.0/9"]
+    with pytest.raises(KeyError):
+        trie.remove("10.0.0.0/9")  # double remove raises

@@ -162,3 +162,138 @@ def test_different_seeds_differ():
         Simulator(seed=1).rng("x").random()
         != Simulator(seed=2).rng("x").random()
     )
+
+
+# ----------------------------------------------------------------------
+# Hot-path machinery: O(1) pending, heap compaction, timer wheel,
+# in-place rescheduling, native periodic events.
+# ----------------------------------------------------------------------
+def test_pending_counter_is_live():
+    sim = Simulator()
+    events = [sim.at(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert sim.pending == 8
+    events[3].cancel()  # idempotent: no double decrement
+    assert sim.pending == 8
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_pending_counts_wheel_and_heap_events():
+    sim = Simulator()
+    sim.at(0.001, lambda: None)  # wheel
+    sim.at(500.0, lambda: None)  # far past the horizon: overflow heap
+    assert sim.pending == 2
+    sim.run(until=1.0)
+    assert sim.pending == 1
+
+
+def test_cancelled_heap_entries_are_compacted():
+    sim = Simulator(wheel=False)
+    events = [sim.at(10.0 + i * 0.01, lambda: None) for i in range(1000)]
+    assert len(sim._heap) == 1000
+    for event in events[:900]:
+        event.cancel()
+    # Compaction kicked in well before 900 corpses accumulated.
+    assert len(sim._heap) < 500
+    assert sim.pending == 100
+
+
+def test_compaction_disabled_keeps_corpses():
+    sim = Simulator(wheel=False, compact_threshold=None)
+    events = [sim.at(10.0 + i * 0.01, lambda: None) for i in range(1000)]
+    for event in events[:900]:
+        event.cancel()
+    assert len(sim._heap) == 1000
+    assert sim.pending == 100
+
+
+def test_events_beyond_wheel_horizon_fire_in_order():
+    sim = Simulator(wheel_width=0.01, wheel_slots=16)  # horizon: 0.16s
+    order = []
+    sim.at(5.0, order.append, "far")
+    sim.at(0.05, order.append, "near")
+    sim.at(1.0, order.append, "mid")
+    sim.run()
+    assert order == ["near", "mid", "far"]
+    assert sim.now == 5.0
+
+
+def test_schedule_from_callback_into_current_drain():
+    # An event scheduled *behind the cursor's slot* mid-drain still
+    # fires in correct order.
+    sim = Simulator(wheel_width=0.01, wheel_slots=16)
+    order = []
+
+    def first():
+        order.append(("first", sim.now))
+        sim.at(0.0001, lambda: order.append(("wedge", sim.now)))
+
+    sim.at(0.005, first)
+    sim.at(0.0052, lambda: order.append(("second", sim.now)))
+    sim.run()
+    assert [name for name, _ in order] == ["first", "wedge", "second"]
+
+
+def test_reschedule_reuses_event_object():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    again = sim.reschedule(event, 2.0)
+    assert again is event
+    sim.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_reschedule_rejects_queued_or_cancelled_events():
+    sim = Simulator()
+    queued = sim.at(1.0, lambda: None)
+    with pytest.raises(RuntimeError):
+        sim.reschedule(queued, 2.0)
+    queued.cancel()
+    with pytest.raises(RuntimeError):
+        sim.reschedule(queued, 2.0)
+
+
+def test_schedule_periodic_fires_and_cancels():
+    sim = Simulator()
+    times = []
+    event = sim.schedule_periodic(0.5, lambda: times.append(sim.now))
+    sim.run(until=2.2)
+    assert times == [0.5, 1.0, 1.5, 2.0]
+    event.cancel()
+    sim.run(until=5.0)
+    assert times == [0.5, 1.0, 1.5, 2.0]
+    with pytest.raises(ValueError):
+        sim.schedule_periodic(0.0, lambda: None)
+
+
+def test_stop_mid_slot_preserves_remaining_events():
+    sim = Simulator()
+    fired = []
+    # Two events in the same wheel slot; the first stops the run.
+    sim.at(0.0041, lambda: (fired.append("a"), sim.stop()))
+    sim.at(0.0042, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_step_and_peek_merge_wheel_and_heap():
+    sim = Simulator(wheel_width=0.01, wheel_slots=16)
+    order = []
+    sim.at(500.0, order.append, "heap")
+    sim.at(0.01, order.append, "wheel")
+    assert sim.peek() == 0.01
+    assert sim.step()
+    assert order == ["wheel"]
+    assert sim.peek() == 500.0
+    assert sim.step()
+    assert not sim.step()
+    assert order == ["wheel", "heap"]

@@ -88,3 +88,46 @@ def test_timeout_expires_at():
     assert timeout.expires_at == 4.0
     timeout.cancel()
     assert timeout.expires_at is None
+
+
+def test_periodic_timer_reuses_one_event_object():
+    """The hot path allocates no Event per tick: fixed-period timers ride
+    one engine-rearmed periodic event."""
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 0.5, lambda: None)
+    event = timer._event
+    sim.run(until=10.0)
+    assert timer._event is event
+    assert event.active
+
+
+def test_jittered_timer_reuses_one_event_object():
+    sim = Simulator(seed=3)
+    timer = PeriodicTimer(sim, 0.5, lambda: None, jitter=0.2)
+    event = timer._event
+    sim.run(until=10.0)
+    assert timer._event is event
+
+
+def test_periodic_timer_stop_from_callback():
+    sim = Simulator()
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        if len(times) == 3:
+            timer.stop()
+
+    timer = PeriodicTimer(sim, 1.0, tick)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+    assert sim.pending == 0
+
+
+def test_periodic_timer_reschedule_changes_interval():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+    sim.at(2.5, timer.reschedule, 0.25)
+    sim.run(until=3.76)
+    assert times == [1.0, 2.0, 2.75, 3.0, 3.25, 3.5, 3.75]
