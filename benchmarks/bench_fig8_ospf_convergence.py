@@ -9,6 +9,7 @@ t=34 s and the RTT returns to 76 ms a few seconds later.
 """
 
 from benchmarks.common import format_table, save_report
+from repro.faults import FaultPlan
 from repro.tools import Ping
 from repro.topologies import build_abilene_iias
 
@@ -18,14 +19,19 @@ RECOVER_AT = 34.0
 END_AT = 55.0
 PING_INTERVAL = 0.25  # denser than the paper's 1 Hz, to catch transients
 
+# The Section 5.2 controlled event, as a reusable schedule: fail the
+# Denver--Kansas City virtual link at t=10 s, restore it at t=34 s.
+FIG8_PLAN = FaultPlan("fig8").fail_link(
+    FAIL_AT, "denver", "kansascity", duration=RECOVER_AT - FAIL_AT
+)
+
 
 def run_fig8(seed: int = 8):
     vini, exp = build_abilene_iias(seed=seed)
     exp.run(until=WARMUP)
     washington = exp.network.nodes["washington"]
     seattle = exp.network.nodes["seattle"]
-    exp.fail_link_at(WARMUP + FAIL_AT, "denver", "kansascity")
-    exp.recover_link_at(WARMUP + RECOVER_AT, "denver", "kansascity")
+    exp.apply_faults(FIG8_PLAN, offset=WARMUP)
     ping = Ping(
         washington.phys_node, seattle.tap_addr, sliver=washington.sliver,
         interval=PING_INTERVAL, count=int(END_AT / PING_INTERVAL),

@@ -9,6 +9,7 @@ disruption when OSPF falls back to the original path around t=38 s.
 """
 
 from benchmarks.common import format_table, save_report
+from repro.faults import FaultPlan
 from repro.tools import IperfTCPClient, IperfTCPServer, Tcpdump
 from repro.tools.tcpdump import tcp_filter
 from repro.topologies import build_abilene_iias
@@ -19,14 +20,18 @@ RECOVER_AT = 34.0
 END_AT = 50.0
 WINDOW = 16 * 1024  # iperf 1.7 default
 
+# The same Section 5.2 controlled event as Figure 8, expressed once.
+FIG9_PLAN = FaultPlan("fig9").fail_link(
+    FAIL_AT, "denver", "kansascity", duration=RECOVER_AT - FAIL_AT
+)
+
 
 def run_fig9(seed: int = 9):
     vini, exp = build_abilene_iias(seed=seed)
     exp.run(until=WARMUP)
     washington = exp.network.nodes["washington"]
     seattle = exp.network.nodes["seattle"]
-    exp.fail_link_at(WARMUP + FAIL_AT, "denver", "kansascity")
-    exp.recover_link_at(WARMUP + RECOVER_AT, "denver", "kansascity")
+    exp.apply_faults(FIG9_PLAN, offset=WARMUP)
     dump = Tcpdump(
         seattle.phys_node, filter=tcp_filter(5001), direction="in"
     ).start()

@@ -9,5 +9,13 @@ for the architecture and DESIGN.md for the paper-to-code map.
 __version__ = "1.0.0"
 
 from repro.core import VINI, Experiment, VirtualNetwork
+from repro.faults import FaultPlan, InvariantChecker
 
-__all__ = ["VINI", "Experiment", "VirtualNetwork", "__version__"]
+__all__ = [
+    "VINI",
+    "Experiment",
+    "VirtualNetwork",
+    "FaultPlan",
+    "InvariantChecker",
+    "__version__",
+]

@@ -42,5 +42,10 @@ class DecIPTTL(Element):
             else:
                 self.router.trace_drop(packet, "ttl_expired")
             return
+        trace = self.router.sim.trace
+        if trace.wants("fwd"):
+            trace.log(
+                "fwd", node=self.router.name, uid=packet.uid, ttl=header.ttl
+            )
         packet.writable(IPv4Header).ttl -= 1
         self.output(0).push(packet)

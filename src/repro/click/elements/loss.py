@@ -33,6 +33,12 @@ class LossElement(Element):
     def recover(self) -> None:
         self.failed = False
 
+    def set_drop_prob(self, drop_prob: float) -> None:
+        """Change the loss rate (a controlled loss episode)."""
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob!r}")
+        self.drop_prob = drop_prob
+
     def push(self, port: int, packet: Packet) -> None:
         if self.failed:
             self.dropped += 1

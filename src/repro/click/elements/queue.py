@@ -28,8 +28,11 @@ class Queue(Element):
         self._queue: Deque[Packet] = deque()
         self.drops = 0
         self.highwater = 0
+        self.enqueued = 0
+        self.dequeued = 0
 
     def push(self, port: int, packet: Packet) -> None:
+        self.enqueued += 1  # every offered packet, dropped or not
         if len(self._queue) >= self.capacity:
             self.drops += 1
             self.router.trace_drop(packet, "queue_full")
@@ -38,7 +41,10 @@ class Queue(Element):
         self.highwater = max(self.highwater, len(self._queue))
 
     def pop(self) -> Optional[Packet]:
-        return self._queue.popleft() if self._queue else None
+        if not self._queue:
+            return None
+        self.dequeued += 1
+        return self._queue.popleft()
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -70,6 +76,8 @@ class Shaper(Element):
         self._queued_bytes = 0
         self._pending = False
         self.drops = 0
+        self.offered = 0
+        self.sent = 0
 
     def _refill(self) -> None:
         now = self.router.sim.now
@@ -89,10 +97,12 @@ class Shaper(Element):
         return min(float(packet.wire_len), float(self.burst_bytes))
 
     def push(self, port: int, packet: Packet) -> None:
+        self.offered += 1
         self._refill()
         size = packet.wire_len
         if not self._queue and self.tokens >= self._need(packet):
             self.tokens -= size
+            self.sent += 1
             self.output(0).push(packet)
             return
         if self._queued_bytes + size > self.queue_bytes:
@@ -119,6 +129,7 @@ class Shaper(Element):
             packet = self._queue.popleft()
             self._queued_bytes -= packet.wire_len
             self.tokens -= packet.wire_len
+            self.sent += 1
             self.output(0).push(packet)
         self._schedule()
 

@@ -130,6 +130,15 @@ class Experiment:
         link = self.vini.link_between(a, b)
         return self.at(time, link.recover, label=f"recover physical {a}--{b}")
 
+    def apply_faults(self, plan, offset: float = 0.0):
+        """Install a :class:`repro.faults.FaultPlan` on this experiment.
+
+        Plan times are relative; ``offset`` shifts the whole schedule
+        (e.g. past a warmup). Every injection lands in the timetable
+        like a hand-written ``at()`` call.
+        """
+        return plan.install(self, offset=offset)
+
     # ------------------------------------------------------------------
     def enable_upcalls(self) -> None:
         self.upcalls.enable()

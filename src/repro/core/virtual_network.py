@@ -129,6 +129,10 @@ class VirtualNode(RoutingPlatform):
         self.vlinks: Dict[str, "VirtualLink"] = {}  # by local interface name
         self._tunnels: Dict[str, UDPTunnel] = {}
         self._losses: Dict[str, LossElement] = {}
+        self.crashed = False
+        # Virtual links this node's crash failed (so restart() recovers
+        # exactly those, not links an experiment failed deliberately).
+        self._crash_failed: List["VirtualLink"] = []
         # The tap address is always local.
         self.lookup.add_route(Prefix(tap_addr, 32), None, FIB_LOCAL)
 
@@ -238,6 +242,39 @@ class VirtualNode(RoutingPlatform):
         self.click.initialize()
         self.xorp.start()
 
+    # ------------------------------------------------------------------
+    # Crash / restart (controlled node failures, Section 5.2)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the virtual router: every adjacent virtual link is
+        black-holed, so neighbours see a silent failure and OSPF's
+        dead-interval machinery takes over (the paper's Section 5.2
+        failure model, applied to a whole node)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for vlink in self.vlinks.values():
+            if not vlink.failed:
+                vlink.fail()
+                self._crash_failed.append(vlink)
+        self.network.sim.trace.log("node_state", node=self.name, alive=False)
+
+    def restart(self) -> None:
+        """Bring the virtual router back; links this crash failed
+        recover once both endpoints are up again (a link shared with a
+        still-crashed neighbour is handed to that neighbour's record)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        vlinks, self._crash_failed = self._crash_failed, []
+        for vlink in vlinks:
+            other = vlink.b if vlink.a is self else vlink.a
+            if other.crashed:
+                other._crash_failed.append(vlink)
+            else:
+                vlink.recover()
+        self.network.sim.trace.log("node_state", node=self.name, alive=True)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<VirtualNode {self.name} on {self.phys_node.name} tap={self.tap_addr}>"
 
@@ -295,6 +332,14 @@ class VirtualLink:
         self.a._losses[self.ifname_a].recover()
         self.b._losses[self.ifname_b].recover()
         self.network.sim.trace.log("vlink_state", link=self.name, up=True)
+
+    def set_loss(self, drop_prob: float) -> None:
+        """Make the link lossy in both directions (a loss episode)."""
+        self.a._losses[self.ifname_a].set_drop_prob(drop_prob)
+        self.b._losses[self.ifname_b].set_drop_prob(drop_prob)
+        self.network.sim.trace.log(
+            "vlink_state", link=self.name, loss=drop_prob
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "DOWN" if self.failed else "up"
@@ -437,6 +482,9 @@ class VirtualNetwork:
 
     def recover_link(self, a: str, b: str) -> None:
         self.link_between(a, b).recover()
+
+    def set_loss(self, a: str, b: str, drop_prob: float) -> None:
+        self.link_between(a, b).set_loss(drop_prob)
 
     def configure_ospf(self, weights: Optional[Dict[Tuple[str, str], int]] = None, **kwargs) -> None:
         """Configure OSPF on every virtual node (link costs already set

@@ -1,0 +1,33 @@
+"""Controlled-event fault injection and runtime invariant checking.
+
+The paper's core claim is *controlled* experimentation (Section 5.2):
+inject link failures and other network events on a fixed schedule while
+real routing software reroutes real traffic. This package is that
+control loop for the reproduction:
+
+* :class:`FaultPlan` — a deterministic event-schedule DSL. A plan is a
+  declarative list of injections (link flaps, node crash/restart, CPU
+  contention bursts, loss episodes) plus seeded-random generators, and
+  installs onto an :class:`~repro.core.experiment.Experiment` (virtual
+  overlay faults, the paper's Click-level drops) or a
+  :class:`~repro.core.infrastructure.VINI` (physical substrate faults).
+  Every firing is an ordinary engine event, so plans are reproducible
+  per seed and composable per scenario.
+* :class:`InvariantChecker` — a runtime monitor riding the trace fast
+  path (``trace.wants()``-guarded per-hop records) that continuously
+  verifies TTL monotonicity and forwarding-loop bounds per packet,
+  packet conservation per link and queue, and RIB<->FIB consistency
+  after each convergence, reporting violations with the fault event
+  that triggered them.
+"""
+
+from repro.faults.plan import FaultAction, FaultPlan, UnsupportedFault
+from repro.faults.invariants import InvariantChecker, Violation
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "InvariantChecker",
+    "UnsupportedFault",
+    "Violation",
+]

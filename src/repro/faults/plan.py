@@ -1,0 +1,425 @@
+"""The deterministic event-schedule DSL.
+
+Section 6.2: "In an ns simulation, an experimenter can generate traffic
+and routing streams, specify times when certain links should fail, and
+define the traces that should be collected." A :class:`FaultPlan` is
+that specification for failures: a declarative timetable of injections,
+built once and installed onto any number of deployments.
+
+Design rules that make plans *controlled* in the paper's sense:
+
+* Times in a plan are relative; ``install(target, offset=...)`` places
+  the whole plan on the simulation clock, so the same plan can run
+  after different warmups.
+* Deterministic actions draw no randomness. Seeded-random generators
+  (:meth:`FaultPlan.random_flaps`, :meth:`FaultPlan.random_loss_episodes`)
+  expand at install time from a named stream of the target simulator's
+  :class:`~repro.sim.rand.RandomStreams`, so two runs with the same
+  master seed replay the identical schedule and two plans cannot
+  perturb each other's draws.
+* Each firing is one ordinary engine event that logs a ``fault`` trace
+  record and then calls exactly the function an inline experiment
+  script would have called — a plan-driven run is event-for-event
+  identical to a hand-scheduled one (the golden-trace test in
+  ``tests/faults`` enforces this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class UnsupportedFault(Exception):
+    """The install target cannot express this fault kind."""
+
+
+class FaultAction:
+    """One scheduled injection: ``kind(*args)`` at plan-relative ``time``."""
+
+    __slots__ = ("time", "kind", "args", "label")
+
+    def __init__(self, time: float, kind: str, args: tuple, label: str):
+        if time < 0:
+            raise ValueError(f"negative fault time {time!r}")
+        self.time = time
+        self.kind = kind
+        self.args = args
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultAction t={self.time:g} {self.label}>"
+
+
+class FaultPlan:
+    """A reproducible schedule of controlled network events.
+
+    Builder methods return ``self`` so plans chain::
+
+        plan = (FaultPlan("fig8")
+                .fail_link(10.0, "denver", "kansascity", duration=24.0))
+        exp.apply_faults(plan, offset=WARMUP)
+
+    A plan is inert data until :meth:`install` binds it to a target —
+    an :class:`~repro.core.experiment.Experiment` (virtual faults) or a
+    :class:`~repro.core.infrastructure.VINI` (physical faults). The same
+    plan may be installed any number of times, on any number of targets.
+    """
+
+    def __init__(self, name: str = "faults"):
+        self.name = name
+        self.actions: List[FaultAction] = []
+        # Seeded-random expansions, run at install time against the
+        # target simulator's named stream.
+        self._generators: List[Callable[[random.Random], List[FaultAction]]] = []
+
+    # ------------------------------------------------------------------
+    # Deterministic actions
+    # ------------------------------------------------------------------
+    def _add(self, time: float, kind: str, args: tuple, label: str) -> "FaultPlan":
+        self.actions.append(FaultAction(time, kind, args, label))
+        return self
+
+    def fail_link(
+        self, at: float, a: str, b: str, duration: Optional[float] = None
+    ) -> "FaultPlan":
+        """Fail the link ``a``--``b``; with ``duration``, auto-recover."""
+        self._add(at, "fail_link", (a, b), f"fail {a}={b}")
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"duration must be positive, got {duration!r}")
+            self.recover_link(at + duration, a, b)
+        return self
+
+    def recover_link(self, at: float, a: str, b: str) -> "FaultPlan":
+        return self._add(at, "recover_link", (a, b), f"recover {a}={b}")
+
+    def flap_link(
+        self,
+        a: str,
+        b: str,
+        start: float,
+        down: float,
+        up: float,
+        count: int = 1,
+    ) -> "FaultPlan":
+        """``count`` fail/recover cycles: down for ``down`` s, up for ``up`` s."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        if down <= 0 or up < 0:
+            raise ValueError(f"bad flap timing down={down!r} up={up!r}")
+        t = start
+        for _ in range(count):
+            self.fail_link(t, a, b, duration=down)
+            t += down + up
+        return self
+
+    def crash_node(
+        self, at: float, name: str, duration: Optional[float] = None
+    ) -> "FaultPlan":
+        """Crash a node; with ``duration``, restart it afterwards."""
+        self._add(at, "crash_node", (name,), f"crash {name}")
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"duration must be positive, got {duration!r}")
+            self.restart_node(at + duration, name)
+        return self
+
+    def restart_node(self, at: float, name: str) -> "FaultPlan":
+        return self._add(at, "restart_node", (name,), f"restart {name}")
+
+    def loss_episode(
+        self, at: float, a: str, b: str, duration: float, drop_prob: float
+    ) -> "FaultPlan":
+        """Random loss on virtual link ``a``--``b`` for ``duration`` s.
+
+        Restores a loss-free link afterwards (episodes assume the link's
+        baseline drop probability is 0, the overlay default).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob!r}")
+        self._add(at, "set_loss", (a, b, drop_prob),
+                  f"loss {a}={b} p={drop_prob:g}")
+        self._add(at + duration, "set_loss", (a, b, 0.0), f"loss {a}={b} end")
+        return self
+
+    def cpu_burst(
+        self,
+        at: float,
+        node: str,
+        duration: float,
+        share: float = 1.0,
+        quantum: float = 0.005,
+    ) -> "FaultPlan":
+        """A CPU-contention burst: a hog slice monopolizes ``node`` for
+        ``duration`` seconds (the fluctuating PlanetLab load of
+        Section 5.1.2, on demand)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        return self._add(
+            at, "cpu_burst", (node, duration, share, quantum),
+            f"cpu burst {node} {duration:g}s",
+        )
+
+    def at(self, time: float, fn: Callable, *args: Any, label: str = "") -> "FaultPlan":
+        """Escape hatch: schedule an arbitrary callable as a fault event."""
+        return self._add(
+            time, "call", (fn,) + args, label or getattr(fn, "__name__", "call")
+        )
+
+    # ------------------------------------------------------------------
+    # Seeded-random generators (expanded at install time)
+    # ------------------------------------------------------------------
+    def random_flaps(
+        self,
+        links: Sequence[Tuple[str, str]],
+        window: Tuple[float, float],
+        count: int,
+        down: Tuple[float, float] = (0.5, 2.0),
+    ) -> "FaultPlan":
+        """``count`` link flaps drawn from the plan's seeded stream:
+        uniform start times in ``window``, uniform outage lengths in
+        ``down``, links chosen round-robin-free (uniformly)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        links = [tuple(pair) for pair in links]
+        t0, t1 = window
+        lo, hi = down
+
+        def expand(rng: random.Random) -> List[FaultAction]:
+            actions: List[FaultAction] = []
+            for _ in range(count):
+                a, b = rng.choice(links)
+                start = rng.uniform(t0, t1)
+                outage = rng.uniform(lo, hi)
+                actions.append(FaultAction(
+                    start, "fail_link", (a, b), f"fail {a}={b}"))
+                actions.append(FaultAction(
+                    start + outage, "recover_link", (a, b), f"recover {a}={b}"))
+            return actions
+
+        self._generators.append(expand)
+        return self
+
+    def random_loss_episodes(
+        self,
+        links: Sequence[Tuple[str, str]],
+        window: Tuple[float, float],
+        count: int,
+        duration: Tuple[float, float] = (1.0, 5.0),
+        drop_prob: Tuple[float, float] = (0.05, 0.3),
+    ) -> "FaultPlan":
+        """``count`` loss episodes drawn from the plan's seeded stream."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        links = [tuple(pair) for pair in links]
+        t0, t1 = window
+        dlo, dhi = duration
+        plo, phi = drop_prob
+
+        def expand(rng: random.Random) -> List[FaultAction]:
+            actions: List[FaultAction] = []
+            for _ in range(count):
+                a, b = rng.choice(links)
+                start = rng.uniform(t0, t1)
+                length = rng.uniform(dlo, dhi)
+                p = rng.uniform(plo, phi)
+                actions.append(FaultAction(
+                    start, "set_loss", (a, b, p), f"loss {a}={b} p={p:.3f}"))
+                actions.append(FaultAction(
+                    start + length, "set_loss", (a, b, 0.0), f"loss {a}={b} end"))
+            return actions
+
+        self._generators.append(expand)
+        return self
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def resolve(self, sim) -> List[FaultAction]:
+        """The full action list, generators expanded against ``sim``'s
+        seeded stream, sorted by (time, build order)."""
+        actions = list(self.actions)
+        if self._generators:
+            rng = sim.rng(f"faults.{self.name}")
+            for expand in self._generators:
+                actions.extend(expand(rng))
+        # Stable sort: ties fire in build order, deterministically.
+        return sorted(actions, key=lambda action: action.time)
+
+    def install(self, target, offset: float = 0.0):
+        """Schedule every action on ``target``'s simulator.
+
+        ``target`` is an :class:`~repro.core.experiment.Experiment`
+        (virtual-overlay faults; firings are also recorded in the
+        experiment timetable) or a
+        :class:`~repro.core.infrastructure.VINI` (physical faults).
+        Returns the bound adapter, which keeps per-install state (e.g.
+        running CPU hogs).
+        """
+        adapter = _adapt(target)
+        sim = adapter.sim
+        for action in self.resolve(sim):
+            time = offset + action.time
+            adapter.schedule(time, self._fire, action, adapter,
+                             label=action.label)
+        return adapter
+
+    def _fire(self, action: FaultAction, adapter: "_Target") -> None:
+        trace = adapter.sim.trace
+        if trace.wants("fault"):
+            trace.log("fault", plan=self.name, action=action.kind,
+                      label=action.label)
+        if action.kind == "call":
+            fn = action.args[0]
+            fn(*action.args[1:])
+            return
+        getattr(adapter, action.kind)(*action.args)
+
+    # ------------------------------------------------------------------
+    def timetable(self, sim=None) -> List[Tuple[float, str]]:
+        """(time, label) rows; generator rows need ``sim`` to expand."""
+        actions = self.resolve(sim) if sim is not None else sorted(
+            self.actions, key=lambda action: action.time
+        )
+        return [(action.time, action.label) for action in actions]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultPlan {self.name!r} actions={len(self.actions)} "
+            f"generators={len(self._generators)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Install targets
+# ----------------------------------------------------------------------
+def _adapt(target) -> "_Target":
+    from repro.core.experiment import Experiment
+    from repro.core.infrastructure import VINI
+
+    if isinstance(target, _Target):
+        return target
+    if isinstance(target, Experiment):
+        return ExperimentTarget(target)
+    if isinstance(target, VINI):
+        return PhysicalTarget(target)
+    raise TypeError(
+        f"cannot install a FaultPlan on {type(target).__name__}; "
+        "expected an Experiment or a VINI"
+    )
+
+
+class _Target:
+    """Resolves plan action names against one concrete deployment."""
+
+    sim = None
+
+    def schedule(self, time: float, fn: Callable, *args: Any, label: str = "") -> None:
+        self.sim.schedule(time, fn, *args)
+
+    # Action verbs; subclasses implement what they can express.
+    def fail_link(self, a: str, b: str) -> None:
+        raise UnsupportedFault("fail_link")
+
+    def recover_link(self, a: str, b: str) -> None:
+        raise UnsupportedFault("recover_link")
+
+    def crash_node(self, name: str) -> None:
+        raise UnsupportedFault("crash_node")
+
+    def restart_node(self, name: str) -> None:
+        raise UnsupportedFault("restart_node")
+
+    def set_loss(self, a: str, b: str, drop_prob: float) -> None:
+        raise UnsupportedFault("set_loss")
+
+    def cpu_burst(self, name: str, duration: float, share: float,
+                  quantum: float) -> None:
+        from repro.phys.load import CPUHog
+
+        node = self._phys_node(name)
+        index = self._burst_seq
+        self._burst_seq += 1
+        hog = CPUHog(
+            node,
+            name=f"faultburst{index}",
+            quantum=quantum,
+            heavy_tail_prob=0.0,
+            share=share,
+            rng_stream=f"faults.burst.{node.name}.{index}",
+        ).start()
+        self.sim.at(duration, hog.stop)
+
+    def _phys_node(self, name: str):
+        raise UnsupportedFault("cpu_burst")
+
+
+class ExperimentTarget(_Target):
+    """Faults on an experiment's virtual overlay (the paper's method:
+    virtual links fail by dropping packets inside Click)."""
+
+    def __init__(self, experiment):
+        self.experiment = experiment
+        self.sim = experiment.sim
+        self._burst_seq = 0
+
+    def schedule(self, time: float, fn: Callable, *args: Any, label: str = "") -> None:
+        # Through the experiment so the timetable records the firing.
+        self.experiment.at(time, fn, *args, label=label)
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.experiment.network.fail_link(a, b)
+
+    def recover_link(self, a: str, b: str) -> None:
+        self.experiment.network.recover_link(a, b)
+
+    def crash_node(self, name: str) -> None:
+        self.experiment.network.nodes[name].crash()
+
+    def restart_node(self, name: str) -> None:
+        self.experiment.network.nodes[name].restart()
+
+    def set_loss(self, a: str, b: str, drop_prob: float) -> None:
+        self.experiment.network.set_loss(a, b, drop_prob)
+
+    def _phys_node(self, name: str):
+        vnode = self.experiment.network.nodes.get(name)
+        if vnode is not None:
+            return vnode.phys_node
+        return self.experiment.vini.nodes[name]
+
+
+class PhysicalTarget(_Target):
+    """Faults on the physical substrate (fate sharing, Section 3.1)."""
+
+    def __init__(self, vini):
+        self.vini = vini
+        self.sim = vini.sim
+        self._burst_seq = 0
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.vini.link_between(a, b).fail()
+
+    def recover_link(self, a: str, b: str) -> None:
+        self.vini.link_between(a, b).recover()
+
+    def crash_node(self, name: str) -> None:
+        self.vini.nodes[name].crash()
+
+    def restart_node(self, name: str) -> None:
+        self.vini.nodes[name].restart()
+
+    def set_loss(self, a: str, b: str, drop_prob: float) -> None:
+        raise UnsupportedFault(
+            "loss episodes drop packets inside Click; install the plan on "
+            "an Experiment (virtual overlay) instead"
+        )
+
+    def _phys_node(self, name: str):
+        return self.vini.nodes[name]

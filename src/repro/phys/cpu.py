@@ -292,6 +292,25 @@ class CPUScheduler:
                 self._resume = running.process
 
     # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def crash_flush(self) -> None:
+        """Discard all pending work (node crash).
+
+        The item on the CPU is cancelled (its completion event still
+        fires to keep accounting sane, but its callback is suppressed),
+        every queued item on every process is cancelled and dropped,
+        and any preemption-resume claim is forgotten.
+        """
+        if self._running is not None:
+            self._running.item.cancelled = True
+        for process in self.processes:
+            for item in process.queue:
+                item.cancelled = True
+            process.queue.clear()
+        self._resume = None
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -38,6 +38,8 @@ class _Channel:
         "tx_packets",
         "tx_bytes",
         "drops",
+        "offered",
+        "delivered",
     )
 
     def __init__(self, sim: Simulator, link: "Link"):
@@ -50,8 +52,11 @@ class _Channel:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.drops = 0
+        self.offered = 0  # every packet handed to send()
+        self.delivered = 0  # every packet handed to the far interface
 
     def send(self, packet: Packet, receiver: "Interface") -> bool:
+        self.offered += 1
         if not self.link.up:
             self.drops += 1
             self.link._trace_drop(packet, "link_down")
@@ -87,16 +92,26 @@ class _Channel:
 
     def _deliver(self, packet: Packet, receiver: "Interface") -> None:
         self.in_flight.pop(packet.uid, None)
+        self.delivered += 1
         receiver.receive(packet)
 
     def flush(self) -> None:
-        """Drop everything queued and in flight (link failure)."""
-        self.drops += len(self.queue)
+        """Drop everything queued and in flight (link failure).
+
+        Every loss is both counted (``drops``) and traced
+        (``link_drop``/``link_failed``) so the two stay in agreement.
+        """
+        trace = self.sim.trace
+        name = self.link.name
+        for packet in self.queue:
+            self.drops += 1
+            trace.log("link_drop", link=name, reason="link_failed", uid=packet.uid)
         self.queue.clear()
         self.queued_bytes = 0
-        for event in self.in_flight.values():
+        for uid, event in self.in_flight.items():
             event.cancel()
             self.drops += 1
+            trace.log("link_drop", link=name, reason="link_failed", uid=uid)
         self.in_flight.clear()
 
 
@@ -197,6 +212,8 @@ class Link:
             "tx_bytes": sum(c.tx_bytes for c in channels),
             "drops": sum(c.drops for c in channels),
             "queued_bytes": sum(c.queued_bytes for c in channels),
+            "offered": sum(c.offered for c in channels),
+            "delivered": sum(c.delivered for c in channels),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -254,6 +254,12 @@ class PhysicalNode:
         self._icmp_error_listeners: List[Callable[[Packet], None]] = []
         self._captures: List[Callable[[Packet, str], None]] = []
         self.forwarded = 0
+        self.alive = True
+        # Links/interfaces this node's crash took down, so restart()
+        # recovers exactly those and nothing an experiment failed
+        # deliberately.
+        self._crash_links: List[Link] = []
+        self._crash_ifaces: List[Interface] = []
 
     # ------------------------------------------------------------------
     # Configuration
@@ -302,6 +308,57 @@ class PhysicalNode:
 
     def is_local(self, address: Union[str, IPv4Address]) -> bool:
         return int(ip(address)) in self._local_addrs
+
+    # ------------------------------------------------------------------
+    # Crash / restart (controlled node failures, Section 5.2)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power the node off abruptly.
+
+        Attached links that were up go down (their queued and in-flight
+        packets are lost — the fate-sharing Section 3.1 demands), all
+        interfaces stop receiving, and every queued CPU work item is
+        discarded. The failed links and downed interfaces are recorded
+        so :meth:`restart` undoes exactly this crash's damage.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for iface in self.interfaces.values():
+            link = iface.link
+            if link is not None and link.up:
+                link.fail()
+                self._crash_links.append(link)
+            if iface.up:
+                iface.up = False
+                self._crash_ifaces.append(iface)
+        self.cpu.crash_flush()
+        self.sim.trace.log("node_state", node=self.name, alive=False)
+
+    def restart(self) -> None:
+        """Power the node back on.
+
+        Interfaces this crash downed come back up; links this crash
+        failed recover once both their endpoints are alive (a link
+        shared with a still-crashed neighbour is handed to that
+        neighbour's crash record, so *its* restart recovers it).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        for iface in self._crash_ifaces:
+            iface.up = True
+        self._crash_ifaces = []
+        links, self._crash_links = self._crash_links, []
+        for link in links:
+            if all(getattr(ep.node, "alive", True) for ep in link.endpoints):
+                link.recover()
+            else:
+                for ep in link.endpoints:
+                    if not getattr(ep.node, "alive", True):
+                        ep.node._crash_links.append(link)
+                        break
+        self.sim.trace.log("node_state", node=self.name, alive=True)
 
     # ------------------------------------------------------------------
     # Slices
@@ -420,6 +477,8 @@ class PhysicalNode:
     # ------------------------------------------------------------------
     def ip_input(self, iface: Interface, packet: Packet) -> None:
         """A packet arrived on a NIC; charge the kernel, then process."""
+        if not self.alive:
+            return
         cost = self.kernel_cost_fixed + self.kernel_cost_per_byte * packet.wire_len
         self.kernel.exec_after(cost, self._ip_input, packet, iface)
 
@@ -449,6 +508,9 @@ class PhysicalNode:
         if found is None:
             self._icmp_error(packet, ICMP_DEST_UNREACHABLE)
             return
+        trace = self.sim.trace
+        if trace.wants("fwd"):
+            trace.log("fwd", node=self.name, uid=packet.uid, ttl=header.ttl)
         packet.writable(IPv4Header).ttl -= 1
         self.forwarded += 1
         route: Route = found[1]
@@ -572,6 +634,8 @@ class PhysicalNode:
         sliver's tap prefix go to the tap device (and from there into
         the slice's overlay), everything else uses the kernel table.
         """
+        if not self.alive:
+            return False
         if self._captures:
             self._capture(packet, "out")
         dst = packet.ip.dst
@@ -601,6 +665,8 @@ class PhysicalNode:
 
     def tap_input(self, tap: TapDevice, packet: Packet) -> None:
         """A packet written to a tap device by its user-space reader."""
+        if not self.alive:
+            return
         dst = packet.ip.dst
         if int(dst) == int(tap.address) or (
             int(dst) in self._tap_addrs and self._tap_addrs[int(dst)] is tap.sliver

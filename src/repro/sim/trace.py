@@ -24,6 +24,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+#: Kinds that intern *disabled*: per-packet record streams nobody reads
+#: unless a monitor (e.g. the faults invariant checker) explicitly calls
+#: ``enable()``. Everything else is enabled on first use, as before.
+QUIET_KINDS = frozenset({"fwd"})
+
 
 class TraceRecord:
     """One timestamped measurement record."""
@@ -72,11 +77,12 @@ class TraceCollector:
     # Kind interning and enablement
     # ------------------------------------------------------------------
     def _register(self, kind: str) -> int:
-        """Intern ``kind``: assign it a bit (enabled by default) and an
-        index list."""
+        """Intern ``kind``: assign it a bit (enabled by default, unless
+        the kind is in :data:`QUIET_KINDS`) and an index list."""
         bit = 1 << len(self._kind_bits)
         self._kind_bits[kind] = bit
-        self._enabled_mask |= bit
+        if kind not in QUIET_KINDS:
+            self._enabled_mask |= bit
         self._by_kind[kind] = []
         return bit
 

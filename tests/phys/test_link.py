@@ -106,6 +106,46 @@ def test_fail_drops_queued_and_in_flight():
     assert not link.up
 
 
+def test_fail_accounts_every_dropped_packet():
+    """The drop counter and the per-packet ``link_drop`` trace records
+    must agree after ``fail()`` flushes queued and in-flight packets."""
+    sim = Simulator()
+    link, a, b = make_link(sim, queue_bytes=100000)
+    packets = [make_packet(1000) for _ in range(4)]
+    for pkt in packets:
+        link.transmit(a, pkt)
+    sim.at(0.0005, link.fail)  # first packet mid-serialization, 3 queued
+    sim.run()
+    assert link.stats()["drops"] == 4
+    records = list(sim.trace.select("link_drop", reason="link_failed"))
+    assert len(records) == 4
+    assert sorted(r["uid"] for r in records) == sorted(
+        pkt.uid for pkt in packets
+    )
+    assert all(r["link"] == link.name for r in records)
+
+
+def test_offered_delivered_conservation():
+    """offered == delivered + drops + queued + in-flight, always."""
+    sim = Simulator()
+    link, a, b = make_link(sim)  # queue holds 4: 5 accepted, 3 overflow
+    for _ in range(8):
+        link.transmit(a, make_packet(1000))
+    stats = link.stats()
+    in_transit = sum(
+        len(c.queue) + len(c.in_flight) for c in link._channels.values()
+    )
+    assert stats["offered"] == 8
+    assert stats["offered"] == (
+        stats["delivered"] + stats["drops"] + in_transit
+    )
+    sim.at(0.0025, link.fail)  # strand the rest mid-delivery
+    sim.run()
+    stats = link.stats()
+    assert stats["offered"] == stats["delivered"] + stats["drops"]
+    assert stats["drops"] == sim.trace.count("link_drop", link=link.name)
+
+
 def test_down_link_rejects_sends():
     sim = Simulator()
     link, a, b = make_link(sim)
