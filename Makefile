@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test tier2-bench-smoke bench
+.PHONY: test tier2-bench-smoke bench profile
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -16,3 +16,8 @@ tier2-bench-smoke:
 # benchmarks/results/BENCH_core.json.
 bench:
 	$(PYTHON) benchmarks/runner.py
+
+# Sim-time profile: a short Abilene scenario under repro.obs.Profiler,
+# printing the per-component event-loop breakdown.
+profile:
+	$(PYTHON) benchmarks/profile_scenario.py

@@ -30,7 +30,16 @@ def run_point(config: str, rate: float, seed: int):
     ).start()
     start = world.vini.sim.now
     world.vini.run(until=start + DURATION + 2.0)
-    return client.result().loss_pct
+    # Headline loss from the registry's sent/received counters, checked
+    # against the legacy result-object derivation.
+    metrics = world.vini.sim.metrics
+    sent = metrics.value("iperf.udp.sent", node=world.src.name, port=5002)
+    received = metrics.value("iperf.udp.received", node=world.sink.name, port=5002)
+    loss_pct = 100.0 * max(0, sent - received) / sent if sent else 0.0
+    result = client.result()
+    assert sent == result.sent and received == result.received
+    assert loss_pct == result.loss_pct, (loss_pct, result.loss_pct)
+    return loss_pct
 
 
 def run_fig6():

@@ -38,6 +38,10 @@ def run_fig9(seed: int = 9):
     server = IperfTCPServer(
         seattle.phys_node, sliver=seattle.sliver, window=WINDOW
     )
+    metrics = vini.sim.metrics
+    sender = washington.phys_node.name
+    rexmit_before = metrics.value("tcp.retransmits", node=sender)
+    timeouts_before = metrics.value("tcp.timeouts", node=sender)
     client = IperfTCPClient(
         washington.phys_node,
         seattle.tap_addr,
@@ -49,8 +53,19 @@ def run_fig9(seed: int = 9):
     ).start()
     vini.run(until=WARMUP + END_AT + 2.0)
     arrivals = [(t - WARMUP, seq, length) for t, seq, length in dump.tcp_arrivals()]
+    # Headline counters from the registry: the bulk stream is the only
+    # TCP connection on the sender, so the node-level stack totals equal
+    # the per-connection legacy attributes.
+    timeouts = metrics.value("tcp.timeouts", node=sender) - timeouts_before
+    retransmits = metrics.value("tcp.retransmits", node=sender) - rexmit_before
+    total = metrics.value(
+        "iperf.tcp.bytes_received", node=seattle.phys_node.name, port=5001
+    )
     conn = client.connections[0]
-    return arrivals, conn.timeouts, conn.retransmits, server.bytes_received
+    assert timeouts == conn.timeouts, (timeouts, conn.timeouts)
+    assert retransmits == conn.retransmits, (retransmits, conn.retransmits)
+    assert total == server.bytes_received
+    return arrivals, timeouts, retransmits, total
 
 
 def bench_fig9_tcp_convergence(benchmark):

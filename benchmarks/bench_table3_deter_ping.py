@@ -9,7 +9,7 @@ traversals' syscall tax) but does not add variance or loss on
 dedicated hardware.
 """
 
-from benchmarks.common import format_table, save_report
+from benchmarks.common import format_table, ping_stats_from_metrics, save_report
 from repro.tools import Ping
 from repro.topologies import build_deter, build_deter_iias
 
@@ -24,7 +24,7 @@ def run_network(seed: int = 2):
         interval=INTERVAL, count=COUNT,
     ).start()
     vini.run(until=COUNT * INTERVAL + 2.0)
-    return ping.stats()
+    return ping_stats_from_metrics(ping)
 
 
 def run_iias(seed: int = 2):
@@ -37,7 +37,7 @@ def run_iias(seed: int = 2):
         interval=INTERVAL, count=COUNT,
     ).start()
     vini.run(until=30.0 + COUNT * INTERVAL + 2.0)
-    return ping.stats()
+    return ping_stats_from_metrics(ping)
 
 
 def run_table3():

@@ -26,13 +26,19 @@ RUNS = 3
 
 def run_once(config: str, seed: int):
     world = build_planetlab_world(config, seed=seed)
+    metrics = world.vini.sim.metrics
     (src_sliver, _src_addr), (sink_sliver, sink_addr) = overlay_endpoints(world)
-    fwdr = world.vini.nodes["newyork"]
     if world.exp is not None:
         click_process = world.exp.network.nodes["newyork"].click_process
+        click_key = dict(
+            cpu=f"{click_process.node.name}.cpu", process=click_process.metric_label
+        )
+        metric_cpu_before = metrics.value("cpu.process_seconds", **click_key)
         cpu_before = click_process.cpu_used
     else:
         click_process = None
+        click_key = None
+        metric_cpu_before = 0.0
         cpu_before = 0.0
     server = IperfTCPServer(world.sink, sliver=sink_sliver)
     client = IperfTCPClient(
@@ -43,14 +49,23 @@ def run_once(config: str, seed: int):
         duration=DURATION,
         server=server,
     ).start()
+    bytes_key = dict(node=world.sink.name, port=5001)
+    bytes_before = metrics.value("iperf.tcp.bytes_received", **bytes_key)
     start = world.vini.sim.now
     world.vini.run(until=start + DURATION + 1.0)
-    mbps = client.result().throughput_mbps
-    cpu = (
-        100.0 * (click_process.cpu_used - cpu_before) / DURATION
-        if click_process is not None
-        else float("nan")
-    )
+    # Headline throughput/CPU from the registry, checked against the
+    # legacy object-attribute reads.
+    received = metrics.value("iperf.tcp.bytes_received", **bytes_key) - bytes_before
+    duration = (client.finished_at or world.vini.sim.now) - (client.started_at or 0.0)
+    mbps = received * 8 / duration / 1e6
+    assert mbps == client.result().throughput_mbps
+    if click_process is not None:
+        cpu_used = metrics.value("cpu.process_seconds", **click_key) - metric_cpu_before
+        cpu = 100.0 * cpu_used / DURATION
+        legacy_cpu = 100.0 * (click_process.cpu_used - cpu_before) / DURATION
+        assert cpu == legacy_cpu, (cpu, legacy_cpu)
+    else:
+        cpu = float("nan")
     return mbps, cpu
 
 

@@ -14,6 +14,7 @@ from benchmarks.common import (
     build_planetlab_world,
     format_table,
     overlay_endpoints,
+    ping_stats_from_metrics,
     save_report,
 )
 from repro.tools import Ping
@@ -31,7 +32,7 @@ def run_once(config: str, seed: int = 17):
     ).start()
     start = world.vini.sim.now
     world.vini.run(until=start + COUNT * INTERVAL + 5.0)
-    return ping.stats()
+    return ping_stats_from_metrics(ping)
 
 
 def run_table5():

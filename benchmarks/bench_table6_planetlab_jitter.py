@@ -35,7 +35,19 @@ def run_config(config: str, seed: int = 23):
         ).start()
         start = world.vini.sim.now
         world.vini.run(until=start + DURATION + 2.0)
-        jitters.append(client.result().jitter)
+        # Headline jitter from the registry's RFC 1889 gauge, checked
+        # against the legacy server-attribute read.
+        metrics = world.vini.sim.metrics
+        labels = dict(node=world.sink.name, port=5002)
+        jitter = metrics.value("iperf.udp.jitter", **labels)
+        result = client.result()
+        assert jitter == result.jitter, (jitter, result.jitter)
+        assert metrics.value("iperf.udp.received", **labels) == result.received
+        assert (
+            metrics.value("iperf.udp.sent", node=world.src.name, port=5002)
+            == result.sent
+        )
+        jitters.append(jitter)
     return jitters
 
 

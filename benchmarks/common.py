@@ -174,3 +174,35 @@ def mean_std(values: List[float]) -> Tuple[float, float]:
 def cpu_percent(process, duration: float, since: float = 0.0) -> float:
     """Mean CPU% of a process over the measurement window."""
     return 100.0 * (process.cpu_used - since) / duration if duration > 0 else 0.0
+
+
+def ping_stats_from_metrics(ping):
+    """Rebuild the ping(8) summary line from the ``repro.obs`` registry
+    (``ping.transmitted``/``ping.received`` counters plus the
+    ``ping.rtt`` histogram) and assert it matches the legacy
+    sample-list derivation in :meth:`repro.tools.ping.Ping.stats`.
+    """
+    from repro.tools.ping import PingStats
+
+    metrics = ping.sim.metrics
+    labels = dict(src=ping.node.name, dst=str(ping.dst), ident=ping.ident)
+    transmitted = metrics.value("ping.transmitted", **labels)
+    received = metrics.value("ping.received", **labels)
+    hist = metrics.get("ping.rtt", **labels)
+    if hist is not None and hist.count:
+        stats = PingStats(
+            transmitted, received, hist.min, hist.mean, hist.max, hist.stddev
+        )
+    else:
+        stats = PingStats(transmitted, 0, 0.0, 0.0, 0.0, 0.0)
+    legacy = ping.stats()
+    assert stats.transmitted == legacy.transmitted
+    assert stats.received == legacy.received
+    # The histogram accumulates count/sum/min/max in the same order the
+    # sample list does, so those are exact; mdev uses the
+    # sum-of-squares identity and only matches to float rounding.
+    assert stats.min_rtt == legacy.min_rtt
+    assert stats.max_rtt == legacy.max_rtt
+    assert abs(stats.avg_rtt - legacy.avg_rtt) <= 1e-12
+    assert abs(stats.mdev - legacy.mdev) <= 1e-9 + 1e-6 * legacy.mdev
+    return stats

@@ -29,7 +29,7 @@ import os
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 for _path in (_ROOT, os.path.join(_ROOT, "src")):
@@ -37,6 +37,7 @@ for _path in (_ROOT, os.path.join(_ROOT, "src")):
         sys.path.insert(0, _path)
 
 from benchmarks import bench_core_engine as core  # noqa: E402
+from repro.obs import BenchTrajectory, detect_commit  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 DEFAULT_ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_core.json")
@@ -143,19 +144,6 @@ def write_artifact(entry: dict, path: str = DEFAULT_ARTIFACT) -> str:
     return path
 
 
-def _git_head() -> Optional[str]:
-    head = os.path.join(_ROOT, ".git", "HEAD")
-    try:
-        with open(head) as handle:
-            ref = handle.read().strip()
-        if ref.startswith("ref: "):
-            with open(os.path.join(_ROOT, ".git", ref[5:])) as handle:
-                return handle.read().strip()[:12]
-        return ref[:12]
-    except OSError:
-        return None
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=max(1, os.cpu_count() or 1),
@@ -197,7 +185,7 @@ def main(argv=None) -> int:
     if not args.dry_run:
         entry = {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "commit": _git_head(),
+            "commit": detect_commit(_ROOT),
             "python": platform.python_version(),
             "workers": args.workers,
             "scale": args.scale,
@@ -207,6 +195,17 @@ def main(argv=None) -> int:
         }
         path = write_artifact(entry, args.out)
         print(f"artifact: {path} ({len(json.load(open(path))['runs'])} run(s))")
+        # One summary row per invocation in the cross-commit trajectory.
+        trajectory = BenchTrajectory(
+            name="core", results_dir=os.path.dirname(args.out) or RESULTS_DIR
+        )
+        row = trajectory.append(
+            dict(summary, python=platform.python_version(), scale=args.scale,
+                 wall_s=round(wall, 3)),
+            commit=entry["commit"],
+            timestamp=entry["timestamp"],
+        )
+        print(f"trajectory: {trajectory.path} (+1 row, commit {row['commit']})")
     return 0
 
 

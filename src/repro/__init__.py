@@ -10,6 +10,7 @@ __version__ = "1.0.0"
 
 from repro.core import VINI, Experiment, VirtualNetwork
 from repro.faults import FaultPlan, InvariantChecker
+from repro.obs import MetricsRegistry, PeriodicSampler, Profiler
 
 __all__ = [
     "VINI",
@@ -17,5 +18,8 @@ __all__ = [
     "VirtualNetwork",
     "FaultPlan",
     "InvariantChecker",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "Profiler",
     "__version__",
 ]

@@ -39,13 +39,30 @@ class LossElement(Element):
             raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob!r}")
         self.drop_prob = drop_prob
 
+    def initialize(self) -> None:
+        metrics = self.router.sim.metrics
+        labels = dict(node=self.router.node.name, element=self.name)
+        metrics.counter("click.loss.dropped_pkts", fn=lambda: self.dropped, **labels)
+        metrics.counter("click.loss.delivered_pkts", fn=lambda: self.passed, **labels)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.dropped += 1
+        # Quiet per-packet kind (off by default): the wants() guard
+        # skips the field build unless a monitor enabled it.
+        trace = self.router.sim.trace
+        if trace.wants("loss_drop"):
+            trace.log(
+                "loss_drop", node=self.router.node.name, element=self.name,
+                reason=reason, uid=packet.uid,
+            )
+
     def push(self, port: int, packet: Packet) -> None:
         if self.failed:
-            self.dropped += 1
+            self._drop(packet, "failed")
             return
         if self.drop_prob > 0.0:
             if self.router.sim.rng(self.rng_stream).random() < self.drop_prob:
-                self.dropped += 1
+                self._drop(packet, "loss_prob")
                 return
         self.passed += 1
         self.output(0).push(packet)

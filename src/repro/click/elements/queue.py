@@ -31,6 +31,17 @@ class Queue(Element):
         self.enqueued = 0
         self.dequeued = 0
 
+    def initialize(self) -> None:
+        metrics = self.router.sim.metrics
+        labels = dict(node=self.router.node.name, element=self.name)
+        # Pull counters over the existing hot-path ints: no per-packet
+        # metric calls, readout happens at collection time.
+        metrics.counter("click.queue.offered_pkts", fn=lambda: self.enqueued, **labels)
+        metrics.counter("click.queue.delivered_pkts", fn=lambda: self.dequeued, **labels)
+        metrics.counter("click.queue.dropped_pkts", fn=lambda: self.drops, **labels)
+        metrics.gauge("click.queue.depth", fn=lambda: len(self._queue), **labels)
+        metrics.gauge("click.queue.highwater", fn=lambda: self.highwater, **labels)
+
     def push(self, port: int, packet: Packet) -> None:
         self.enqueued += 1  # every offered packet, dropped or not
         if len(self._queue) >= self.capacity:
@@ -78,6 +89,14 @@ class Shaper(Element):
         self.drops = 0
         self.offered = 0
         self.sent = 0
+
+    def initialize(self) -> None:
+        metrics = self.router.sim.metrics
+        labels = dict(node=self.router.node.name, element=self.name)
+        metrics.counter("click.shaper.offered_pkts", fn=lambda: self.offered, **labels)
+        metrics.counter("click.shaper.delivered_pkts", fn=lambda: self.sent, **labels)
+        metrics.counter("click.shaper.dropped_pkts", fn=lambda: self.drops, **labels)
+        metrics.gauge("click.shaper.backlog_bytes", fn=lambda: self._queued_bytes, **labels)
 
     def _refill(self) -> None:
         now = self.router.sim.now

@@ -43,6 +43,10 @@ class UDPTunnel(Element):
     def initialize(self) -> None:
         self.sock = self.router.udp_socket(port=self.local_port, rcvbuf=self.rcvbuf)
         self.sock.on_receive = self._incoming
+        metrics = self.router.sim.metrics
+        labels = dict(node=self.router.node.name, element=self.name)
+        metrics.counter("click.tunnel.tx_pkts", fn=lambda: self.tx_packets, **labels)
+        metrics.counter("click.tunnel.rx_pkts", fn=lambda: self.rx_packets, **labels)
 
     def push(self, port: int, packet: Packet) -> None:
         """Encapsulate and transmit toward the remote tunnel endpoint."""

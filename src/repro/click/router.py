@@ -113,10 +113,12 @@ class ClickRouter:
     # ------------------------------------------------------------------
     def trace_drop(self, packet: Packet, reason: str) -> None:
         self.drops += 1
-        self.sim.trace.log(
-            "click_drop", router=self.name, node=self.node.name, reason=reason,
-            uid=packet.uid,
-        )
+        trace = self.sim.trace
+        if trace.wants("click_drop"):
+            trace.log(
+                "click_drop", router=self.name, node=self.node.name,
+                reason=reason, uid=packet.uid,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ClickRouter {self.name}@{self.node.name} elements={len(self.elements)}>"

@@ -58,6 +58,23 @@ class TCPStack:
         self._connections: Dict[Tuple, "TCPConnection"] = {}
         # (scope, lport) -> Listener
         self._listeners: Dict[Tuple[Optional[str], int], "Listener"] = {}
+        # Node-level totals: survive individual connections closing and
+        # back pull metrics (per-connection counters would churn labels).
+        self.total_retransmits = 0
+        self.total_timeouts = 0
+        self.total_bytes_received = 0
+        metrics = node.sim.metrics
+        metrics.counter(
+            "tcp.retransmits", fn=lambda: self.total_retransmits, node=node.name
+        )
+        metrics.counter(
+            "tcp.timeouts", fn=lambda: self.total_timeouts, node=node.name
+        )
+        metrics.counter(
+            "tcp.bytes_received",
+            fn=lambda: self.total_bytes_received,
+            node=node.name,
+        )
 
     @staticmethod
     def of(node: "PhysicalNode") -> "TCPStack":  # noqa: F821
@@ -461,6 +478,7 @@ class TCPConnection:
             self._rto_event = self.sim.schedule(self._rto_deadline, self._on_rto)
             return
         self.timeouts += 1
+        self.stack.total_timeouts += 1
         self._backoff = min(self._backoff * 2, 64)
         self.sim.trace.log(
             "tcp_timeout",
@@ -490,11 +508,13 @@ class TCPConnection:
         if self.fin_sent and self.snd_una == self.snd_nxt - 1:
             self._emit(self.snd_una, 0, TCP_FIN | TCP_ACK)
             self.retransmits += 1
+            self.stack.total_retransmits += 1
             return
         chunk = min(self.mss, self.snd_nxt - self.snd_una)
         if chunk <= 0:
             return
         self.retransmits += 1
+        self.stack.total_retransmits += 1
         self._emit(self.snd_una, chunk, TCP_ACK, tag="retransmit")
 
     # ------------------------------------------------------------------
@@ -619,12 +639,14 @@ class TCPConnection:
         delivered = end - self.rcv_nxt
         self.rcv_nxt = end
         self.bytes_received += delivered
+        self.stack.total_bytes_received += delivered
         # Pull any out-of-order data that is now contiguous.
         filled_hole = False
         while self.rcv_nxt in self._ooo:
             length = self._ooo.pop(self.rcv_nxt)
             self.rcv_nxt += length
             self.bytes_received += length
+            self.stack.total_bytes_received += length
             delivered += length
             filled_hole = True
         if filled_hole:

@@ -1,0 +1,62 @@
+"""repro.obs — the observability subsystem.
+
+Measurement is the product of this reproduction (every paper Table and
+Figure is a number read off the running system), so it gets a
+first-class layer instead of ad-hoc trace scans:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments keyed
+  by ``(name, labels)``; every :class:`~repro.sim.engine.Simulator`
+  owns one as ``sim.metrics``.
+* :mod:`repro.obs.sampler` — :class:`PeriodicSampler`, sim-clock
+  snapshots of metrics into time series without perturbing event order.
+* :mod:`repro.obs.profiler` — :class:`Profiler`, per-component
+  wall-time attribution of the event loop, zero-cost when not
+  installed.
+* :mod:`repro.obs.export` — deterministic JSONL/CSV exporters and the
+  per-commit :class:`BenchTrajectory` artifact writer.
+
+Nothing in this package imports :mod:`repro.sim` at module level: the
+engine imports the registry, so the dependency must stay one-way (the
+profiler's timer-unwrapping does a lazy import inside the call).
+"""
+
+from repro.obs.export import (
+    BenchTrajectory,
+    detect_commit,
+    export_csv,
+    export_jsonl,
+    export_series_csv,
+    registry_csv,
+    registry_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    log_buckets,
+)
+from repro.obs.profiler import Profiler
+from repro.obs.sampler import PeriodicSampler
+
+__all__ = [
+    "BenchTrajectory",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "PeriodicSampler",
+    "Profiler",
+    "detect_commit",
+    "export_csv",
+    "export_jsonl",
+    "export_series_csv",
+    "log_buckets",
+    "registry_csv",
+    "registry_jsonl",
+]

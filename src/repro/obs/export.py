@@ -1,0 +1,189 @@
+"""Exporters: registry snapshots to JSONL/CSV, sampler series to CSV,
+and the per-commit :class:`BenchTrajectory` artifact.
+
+All exports are deterministic for a given run: registry rows come out
+of :meth:`MetricsRegistry.collect` pre-sorted by ``(name, labels)``,
+JSON objects are serialized with sorted keys, and floats go through
+``repr`` (shortest round-trip) — so the same seed produces a
+byte-identical file, which the determinism tests assert.
+
+:class:`BenchTrajectory` is the cross-commit artifact: each
+:meth:`~BenchTrajectory.append` call writes one JSON line stamped with
+the current git commit to ``benchmarks/results/TRAJECTORY_<name>.jsonl``.
+Append-only JSONL (rather than rewrite-the-whole-file JSON) means a CI
+job can bolt the current commit's numbers onto the artifact from the
+previous run without parsing it first.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Column order for registry CSV exports: identity, scalar readout,
+#: then the distribution summary (blank for counters/gauges).
+CSV_FIELDS = (
+    "name",
+    "labels",
+    "type",
+    "value",
+    "count",
+    "sum",
+    "mean",
+    "min",
+    "max",
+    "p50",
+    "p95",
+    "p99",
+)
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def registry_jsonl(registry, extra: Optional[Dict[str, Any]] = None) -> str:
+    """Render a registry snapshot as JSONL text (one metric per line,
+    sorted, sorted keys). ``extra`` adds fields to every row (e.g. a
+    seed or scenario tag)."""
+    lines = []
+    for row in registry.collect():
+        if extra:
+            row = dict(row, **extra)
+        lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_jsonl(registry, path: str, extra: Optional[Dict[str, Any]] = None) -> str:
+    text = registry_jsonl(registry, extra)
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def registry_csv(registry) -> str:
+    """Render a registry snapshot as CSV text with the fixed
+    :data:`CSV_FIELDS` column set."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS, extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in registry.collect():
+        row = dict(row, labels=_format_labels(row["labels"]))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def export_csv(registry, path: str) -> str:
+    text = registry_csv(registry)
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def export_series_csv(sampler, path: str, keys: Optional[Iterable[str]] = None) -> str:
+    """Write a sampler's time series as long-form CSV rows
+    ``key,time,value`` (histogram probes expand to ``count``/``sum``
+    columns)."""
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(["key", "time", "value", "count", "sum"])
+        for key in keys if keys is not None else sampler.keys():
+            for t, value in sampler.series(key):
+                if isinstance(value, tuple) and len(value) == 2:
+                    writer.writerow([key, repr(t), "", value[0], repr(value[1])])
+                else:
+                    writer.writerow([key, repr(t), repr(value), "", ""])
+    return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def detect_commit(start_dir: Optional[str] = None) -> Optional[str]:
+    """Short commit hash of the repo containing ``start_dir`` (or the
+    CWD), read straight from ``.git`` — no subprocess."""
+    directory = os.path.abspath(start_dir or os.getcwd())
+    while True:
+        git_dir = os.path.join(directory, ".git")
+        if os.path.isdir(git_dir):
+            break
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent
+    try:
+        with open(os.path.join(git_dir, "HEAD")) as handle:
+            ref = handle.read().strip()
+        if ref.startswith("ref: "):
+            ref_path = os.path.join(git_dir, *ref[5:].split("/"))
+            if os.path.exists(ref_path):
+                with open(ref_path) as handle:
+                    return handle.read().strip()[:12]
+            packed = os.path.join(git_dir, "packed-refs")
+            with open(packed) as handle:
+                for line in handle:
+                    if line.endswith(ref[5:] + "\n"):
+                        return line.split()[0][:12]
+            return None
+        return ref[:12]
+    except OSError:
+        return None
+
+
+class BenchTrajectory:
+    """Append-only per-commit bench rows in ``benchmarks/results/``.
+
+    Each row is one JSON line ``{"commit": ..., "timestamp": ...,
+    **payload}``; successive CI runs (restoring the previous artifact)
+    accumulate the performance trajectory of the repo across commits.
+    """
+
+    def __init__(self, name: str = "core", results_dir: str = "benchmarks/results"):
+        self.name = name
+        self.path = os.path.join(results_dir, f"TRAJECTORY_{name}.jsonl")
+
+    def append(
+        self,
+        payload: Dict[str, Any],
+        commit: Optional[str] = None,
+        timestamp: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Stamp ``payload`` with commit + UTC timestamp and append it."""
+        row = {
+            "commit": commit if commit is not None else detect_commit(
+                os.path.dirname(self.path) or "."
+            ),
+            "timestamp": timestamp
+            if timestamp is not None
+            else time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        row.update(payload)
+        _ensure_parent(self.path)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return row
+
+    def rows(self) -> List[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            return []
+        rows = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BenchTrajectory {self.path!r}>"

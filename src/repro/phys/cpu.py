@@ -106,12 +106,42 @@ class CPUScheduler:
         # A non-RT process whose chunk was preempted by real-time work:
         # it owns the rest of its timeslice and resumes first.
         self._resume: Optional[Process] = None
+        metrics = sim.metrics
+        # Per-slice scheduling latency (time from work arriving to it
+        # getting the CPU): the one push instrument on this path — a
+        # distribution cannot be pulled. None when metrics are off, so
+        # the dispatch loop pays a single identity test.
+        self._latency_hist = (
+            metrics.histogram("cpu.sched_latency", cpu=self.name)
+            if metrics.enabled
+            else None
+        )
+        metrics.counter("cpu.busy_seconds", fn=lambda: self.busy_time, cpu=self.name)
+        metrics.gauge(
+            "cpu.runq_depth",
+            fn=lambda: sum(len(p.queue) for p in self.processes),
+            cpu=self.name,
+        )
 
     # ------------------------------------------------------------------
     # Registration and wakeups
     # ------------------------------------------------------------------
     def register(self, process: Process) -> None:
         self.processes.append(process)
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            # Disambiguate duplicate process names on one CPU so each
+            # keeps its own series.
+            label = process.name
+            if metrics.get("cpu.process_seconds", cpu=self.name, process=label) is not None:
+                label = f"{process.name}#{len(self.processes)}"
+            metrics.counter(
+                "cpu.process_seconds",
+                fn=lambda: process.cpu_used,
+                cpu=self.name,
+                process=label,
+            )
+            process.metric_label = label
 
     def wake(self, process: Process) -> None:
         """A process gained work; dispatch or preempt as policy allows."""
@@ -259,6 +289,8 @@ class CPUScheduler:
         if process.vruntime < floor:
             process.vruntime = floor
         item = process.queue.popleft()
+        if self._latency_hist is not None:
+            self._latency_hist.observe(self.sim.now - item.enqueued_at)
         cost = item.cost / self.speed
         event = self.sim.at(cost, self._complete)
         self._running = _Running(process, item, self.sim.now, cost, event)
@@ -284,7 +316,8 @@ class CPUScheduler:
         remaining = running.cost - executed
         if remaining > 0 or not running.item.cancelled:
             leftover = WorkItem(
-                max(0.0, remaining) * self.speed, running.item.fn, running.item.args
+                max(0.0, remaining) * self.speed, running.item.fn, running.item.args,
+                running.item.enqueued_at,
             )
             leftover.cancelled = running.item.cancelled
             running.process.queue.appendleft(leftover)

@@ -40,6 +40,9 @@ class _Channel:
         "drops",
         "offered",
         "delivered",
+        "offered_bytes",
+        "delivered_bytes",
+        "dropped_bytes",
     )
 
     def __init__(self, sim: Simulator, link: "Link"):
@@ -54,16 +57,22 @@ class _Channel:
         self.drops = 0
         self.offered = 0  # every packet handed to send()
         self.delivered = 0  # every packet handed to the far interface
+        self.offered_bytes = 0
+        self.delivered_bytes = 0
+        self.dropped_bytes = 0
 
     def send(self, packet: Packet, receiver: "Interface") -> bool:
         self.offered += 1
+        self.offered_bytes += packet.wire_len
         if not self.link.up:
             self.drops += 1
+            self.dropped_bytes += packet.wire_len
             self.link._trace_drop(packet, "link_down")
             return False
         if self.transmitting:
             if self.queued_bytes + packet.wire_len > self.link.queue_bytes:
                 self.drops += 1
+                self.dropped_bytes += packet.wire_len
                 self.link._trace_drop(packet, "queue_overflow")
                 return False
             self.queue.append(packet)
@@ -93,6 +102,7 @@ class _Channel:
     def _deliver(self, packet: Packet, receiver: "Interface") -> None:
         self.in_flight.pop(packet.uid, None)
         self.delivered += 1
+        self.delivered_bytes += packet.wire_len
         receiver.receive(packet)
 
     def flush(self) -> None:
@@ -105,12 +115,17 @@ class _Channel:
         name = self.link.name
         for packet in self.queue:
             self.drops += 1
+            self.dropped_bytes += packet.wire_len
             trace.log("link_drop", link=name, reason="link_failed", uid=packet.uid)
         self.queue.clear()
         self.queued_bytes = 0
         for uid, event in self.in_flight.items():
+            # Grab the packet before cancel() clears the event's args.
+            packet = event.args[0] if event.args else None
             event.cancel()
             self.drops += 1
+            if packet is not None:
+                self.dropped_bytes += packet.wire_len
             trace.log("link_drop", link=name, reason="link_failed", uid=uid)
         self.in_flight.clear()
 
@@ -151,6 +166,27 @@ class Link:
         if not self.name and len(self.endpoints) == 2:
             a, b = self.endpoints
             self.name = f"{a.node.name}--{b.node.name}"
+        if len(self.endpoints) == 2:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish pull counters over the per-direction channel ints —
+        zero cost on the data path, read at collection time."""
+        metrics = self.sim.metrics
+        if not metrics.enabled:
+            return
+        for iface, channel in self._channels.items():
+            labels = dict(link=self.name, sender=iface.node.name)
+            c = channel  # bind per iteration for the closures
+            metrics.counter("link.offered_pkts", fn=lambda c=c: c.offered, **labels)
+            metrics.counter("link.delivered_pkts", fn=lambda c=c: c.delivered, **labels)
+            metrics.counter("link.dropped_pkts", fn=lambda c=c: c.drops, **labels)
+            metrics.counter("link.offered_bytes", fn=lambda c=c: c.offered_bytes, **labels)
+            metrics.counter("link.delivered_bytes", fn=lambda c=c: c.delivered_bytes, **labels)
+            metrics.counter("link.dropped_bytes", fn=lambda c=c: c.dropped_bytes, **labels)
+            metrics.counter("link.tx_bytes", fn=lambda c=c: c.tx_bytes, **labels)
+            metrics.gauge("link.queue_bytes", fn=lambda c=c: c.queued_bytes, **labels)
+            metrics.gauge("link.queue_pkts", fn=lambda c=c: len(c.queue), **labels)
 
     def other_end(self, interface: "Interface") -> "Interface":
         a, b = self.endpoints

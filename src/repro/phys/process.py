@@ -15,15 +15,21 @@ from typing import Any, Callable, Deque, Optional, Tuple
 
 
 class WorkItem:
-    """One chunk of CPU work: ``cost`` seconds, then ``fn(*args)``."""
+    """One chunk of CPU work: ``cost`` seconds, then ``fn(*args)``.
 
-    __slots__ = ("cost", "fn", "args", "cancelled")
+    ``enqueued_at`` is the sim time the work first became runnable;
+    the scheduler measures queueing (scheduling latency) against it.
+    A preempted item's leftover keeps the original arrival time.
+    """
 
-    def __init__(self, cost: float, fn: Callable, args: tuple):
+    __slots__ = ("cost", "fn", "args", "cancelled", "enqueued_at")
+
+    def __init__(self, cost: float, fn: Callable, args: tuple, enqueued_at: float = 0.0):
         self.cost = cost
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.enqueued_at = enqueued_at
 
 
 class Process:
@@ -76,6 +82,9 @@ class Process:
         # Exponential usage average maintained by the scheduler.
         self.usage_ewma = 0.0
         self._usage_stamp = 0.0
+        # Label of this process's cpu.process_seconds series (the CPU
+        # scheduler may disambiguate duplicate names at registration).
+        self.metric_label = name
         node.cpu.register(self)
 
     # ------------------------------------------------------------------
@@ -87,7 +96,7 @@ class Process:
         """
         if cost < 0:
             raise ValueError(f"negative CPU cost {cost!r}")
-        item = WorkItem(cost, fn, args)
+        item = WorkItem(cost, fn, args, self.node.cpu.sim.now)
         self.queue.append(item)
         self.node.cpu.wake(self)
         return item

@@ -182,6 +182,19 @@ class BGPSession:
         transport.on_down = self._transport_down
         self.updates_sent = 0
         self.updates_received = 0
+        metrics = self.sim.metrics
+        labels = dict(daemon=daemon.name, peer=self.name)
+        metrics.counter("bgp.updates_sent", fn=lambda: self.updates_sent, **labels)
+        metrics.counter("bgp.updates_received", fn=lambda: self.updates_received, **labels)
+        metrics.gauge(
+            "bgp.session_up",
+            fn=lambda: 1 if self.state == ESTABLISHED else 0,
+            **labels,
+        )
+        metrics.gauge("bgp.adj_rib_in_routes", fn=lambda: len(self.adj_rib_in), **labels)
+        # Convergence timestamp: sim time the session last reached
+        # ESTABLISHED.
+        self._established_gauge = metrics.gauge("bgp.last_established_time", **labels)
 
     @property
     def is_ebgp(self) -> bool:
@@ -219,6 +232,7 @@ class BGPSession:
                 Open(self.daemon.asn, self.daemon.router_id, self.hold_time)
             )
         self.state = ESTABLISHED
+        self._established_gauge.set(self.sim.now)
         self._hold_timer.restart(self.hold_time)
         self._keepalive_timer.reschedule(max(self.hold_time / 3.0, 1.0))
         self.transport.send(Keepalive())

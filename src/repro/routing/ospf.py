@@ -223,6 +223,34 @@ class OSPFDaemon:
         self._installed: Set[Tuple[int, int]] = set()
         self.spf_runs = 0
         self.started = False
+        metrics = self.sim.metrics
+        rid = _rid(self.router_id)
+        # One counter per message class, resolved once: _send/_receive
+        # index this dict by the message's type (null metrics when the
+        # registry is disabled, so the increments are no-ops).
+        self._msg_tx = {
+            cls: metrics.counter(
+                "ospf.messages_sent", router=rid, type=cls.__name__.lower()
+            )
+            for cls in (Hello, DBDesc, LSRequest, LSUpdate, LSAck)
+        }
+        self._msg_rx = {
+            cls: metrics.counter(
+                "ospf.messages_received", router=rid, type=cls.__name__.lower()
+            )
+            for cls in (Hello, DBDesc, LSRequest, LSUpdate, LSAck)
+        }
+        metrics.counter("ospf.spf_runs", fn=lambda: self.spf_runs, router=rid)
+        metrics.gauge("ospf.lsdb_size", fn=lambda: len(self.lsdb), router=rid)
+        metrics.gauge(
+            "ospf.neighbors_full",
+            fn=lambda: sum(1 for n in self.neighbors.values() if n.state == FULL),
+            router=rid,
+        )
+        # Convergence timestamps: sim time of the most recent SPF run
+        # and of the most recent one that changed the installed routes.
+        self._spf_time_gauge = metrics.gauge("ospf.last_spf_time", router=rid)
+        self._route_change_gauge = metrics.gauge("ospf.last_route_change_time", router=rid)
         platform.register_receiver(self._receive)
 
     # ------------------------------------------------------------------
@@ -303,6 +331,7 @@ class OSPFDaemon:
             payload=OpaquePayload(message.wire_size, data=message, tag="ospf"),
             created_at=self.sim.now,
         )
+        self._msg_tx[type(message)].inc()
         self.platform.send(iface, packet)
 
     def _send_hello(self, iface: RouterInterface) -> None:
@@ -326,6 +355,9 @@ class OSPFDaemon:
             return
         message = packet.payload.data
         src = packet.ip.src
+        counter = self._msg_rx.get(type(message))
+        if counter is not None:
+            counter.inc()
         if isinstance(message, Hello):
             self._on_hello(iface, src, message)
         elif isinstance(message, DBDesc):
@@ -539,9 +571,13 @@ class OSPFDaemon:
                 )
             )
             new_installed.add(key)
+        routes_changed = new_installed != self._installed
         for stale in self._installed - new_installed:
             self.rib.withdraw(Prefix(stale[0], stale[1]), "ospf")
         self._installed = new_installed
+        self._spf_time_gauge.set(self.sim.now)
+        if routes_changed:
+            self._route_change_gauge.set(self.sim.now)
         self.sim.trace.log(
             "ospf_spf", router=_rid(self.router_id), routes=len(new_installed)
         )

@@ -31,6 +31,7 @@ import heapq
 from operator import attrgetter
 from typing import Any, Callable, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceCollector
 
@@ -138,6 +139,11 @@ class Simulator:
     trace:
         A :class:`TraceCollector` that experiment code and tools use to
         record measurements.
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry` that components
+        publish counters/gauges/histograms into. The engine's own
+        series are pull-based (read at collection time), so the hot
+        loop pays nothing for them.
     """
 
     #: Class-wide default for the ``wheel`` argument; the golden-trace
@@ -156,6 +162,10 @@ class Simulator:
         self.seed = seed
         self.random = RandomStreams(seed)
         self.trace = TraceCollector(self)
+        self.metrics = MetricsRegistry(self)
+        # Installed Profiler, or None. Hot loops hoist this into a
+        # local, so (un)installing takes effect at the next run()/step().
+        self._profiler = None
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
@@ -183,6 +193,11 @@ class Simulator:
             self._wheel_cancelled = 0
         else:
             self._wheel = None
+        # Engine introspection series: pull-only, read at collection
+        # time — no per-event cost in the dispatch loops.
+        self.metrics.gauge("sim.pending", fn=lambda: self._live)
+        self.metrics.gauge("sim.now", fn=lambda: self.now)
+        self.metrics.counter("sim.events_scheduled", fn=lambda: self._seq)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -289,6 +304,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         self._disturbed = False
+        prof = self._profiler
+        if prof is not None:
+            loop_start = prof._clock()
         try:
             if self._wheel is None:
                 self._run_heap_only(until)
@@ -296,6 +314,8 @@ class Simulator:
                 self._run_hybrid(until)
         finally:
             self._running = False
+            if prof is not None:
+                prof.loop_seconds += prof._clock() - loop_start
         if until is not None and self.now < until:
             self.now = until
         return self.now
@@ -303,6 +323,7 @@ class Simulator:
     def _run_heap_only(self, until: Optional[float]) -> None:
         heap = self._heap
         pop = heapq.heappop
+        prof = self._profiler
         while heap and not self._stopped:
             entry = heap[0]
             event = entry[2]
@@ -324,7 +345,10 @@ class Simulator:
                 event.time = time + interval
                 self._live += 1
                 self._insert(event)
-            event.fn(*event.args)
+            if prof is None:
+                event.fn(*event.args)
+            else:
+                prof.dispatch(event)
 
     def _run_hybrid(self, until: Optional[float]) -> None:
         heap = self._heap
@@ -336,6 +360,7 @@ class Simulator:
         push = heapq.heappush
         key = _event_key
         bound = float("inf") if until is None else until
+        prof = self._profiler
         while not self._stopped:
             # Drop dead heap heads so heap[0] is a live lower bound.
             while heap and heap[0][2].cancelled:
@@ -363,7 +388,10 @@ class Simulator:
                 else:
                     event.where = _FREE
                     self._live -= 1
-                event.fn(*event.args)
+                if prof is None:
+                    event.fn(*event.args)
+                else:
+                    prof.dispatch(event)
                 continue
             # Find the next occupied ring slot, scanning from the cursor.
             cur = self._cursor
@@ -425,7 +453,10 @@ class Simulator:
                     else:
                         head.where = _FREE
                         self._live -= 1
-                    head.fn(*head.args)
+                    if prof is None:
+                        head.fn(*head.args)
+                    else:
+                        prof.dispatch(head)
                     if self._disturbed:
                         self._disturbed = False
                         if self._stopped:
@@ -465,7 +496,10 @@ class Simulator:
                     else:
                         event.where = _FREE
                         self._live -= 1
-                    event.fn(*event.args)
+                    if prof is None:
+                        event.fn(*event.args)
+                    else:
+                        prof.dispatch(event)
                     if self._disturbed:
                         self._disturbed = False
                         if self._stopped:
@@ -538,7 +572,11 @@ class Simulator:
             event.time = time + interval
             self._live += 1
             self._insert(event)
-        event.fn(*event.args)
+        prof = self._profiler
+        if prof is None:
+            event.fn(*event.args)
+        else:
+            prof.dispatch(event)
         return True
 
     def stop(self) -> None:

@@ -22,12 +22,15 @@ first.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional
+import struct
+from typing import Any, BinaryIO, Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Kinds that intern *disabled*: per-packet record streams nobody reads
 #: unless a monitor (e.g. the faults invariant checker) explicitly calls
 #: ``enable()``. Everything else is enabled on first use, as before.
-QUIET_KINDS = frozenset({"fwd"})
+#: ``loss_drop`` is the per-packet kind added with the observability
+#: layer — quiet so default-run golden traces are unchanged.
+QUIET_KINDS = frozenset({"fwd", "loss_drop"})
 
 
 class TraceRecord:
@@ -72,6 +75,9 @@ class TraceCollector:
         self._kind_bits: Dict[str, int] = {}
         self._enabled_mask = 0
         self.enabled = True
+        # Per-path interning state for incremental spill_to() calls:
+        # path -> (kind -> index, field name -> index).
+        self._spill_tables: Dict[str, Tuple[Dict[str, int], Dict[str, int]]] = {}
 
     # ------------------------------------------------------------------
     # Kind interning and enablement
@@ -165,5 +171,167 @@ class TraceCollector:
         for records in self._by_kind.values():
             records.clear()
 
+    # ------------------------------------------------------------------
+    # Binary spill: stream records to disk and drop them from memory
+    # ------------------------------------------------------------------
+    def spill_to(self, path: str) -> int:
+        """Stream every in-memory record to ``path`` in the struct-packed
+        binary format and drop them from memory, so runs too large to
+        hold their trace in RAM can spill periodically and keep going.
+
+        Repeated calls with the same path append — the string tables are
+        carried across calls, so one call at the end and N calls along
+        the way produce equivalent files. Returns the number of records
+        written. :func:`read_spill` reconstructs the records exactly
+        (int/float/str/bool/None fields round-trip; anything else is
+        stored as its ``repr``).
+        """
+        records = self.records
+        count = len(records)
+        tables = self._spill_tables.get(path)
+        fresh = tables is None
+        if fresh:
+            tables = ({}, {})
+            self._spill_tables[path] = tables
+        kinds, names = tables
+        with open(path, "wb" if fresh else "ab") as handle:
+            if fresh:
+                handle.write(_SPILL_MAGIC)
+            for record in records:
+                _write_record(handle, record, kinds, names)
+        self.clear()
+        return count
+
     def __len__(self) -> int:
         return len(self.records)
+
+
+# ----------------------------------------------------------------------
+# Spill wire format (little-endian throughout):
+#
+#   magic  b"REPROTRC\x01"
+#   frames:
+#     0x01 define kind:  u16 index, u16 len, utf-8 bytes
+#     0x02 define name:  u16 index, u16 len, utf-8 bytes (field name)
+#     0x03 record:       f64 time, u16 kind index, u16 field count,
+#                        then per field: u16 name index, tagged value
+#   value tags:
+#     0x10 int (i64)   0x11 big int (u32 len + decimal utf-8)
+#     0x12 float (f64) 0x13 str (u32 len + utf-8)
+#     0x14 bool (u8)   0x15 None
+#     0x16 other (u32 len + repr utf-8; lossy by construction)
+# ----------------------------------------------------------------------
+
+_SPILL_MAGIC = b"REPROTRC\x01"
+_S_U8 = struct.Struct("<B")
+_S_U16 = struct.Struct("<H")
+_S_U32 = struct.Struct("<I")
+_S_I64 = struct.Struct("<q")
+_S_F64 = struct.Struct("<d")
+_S_REC = struct.Struct("<BdHH")  # frame tag 0x03 + time + kind + nfields
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def _write_string_def(handle: BinaryIO, tag: int, index: int, text: str) -> None:
+    data = text.encode("utf-8")
+    handle.write(_S_U8.pack(tag) + _S_U16.pack(index) + _S_U16.pack(len(data)) + data)
+
+
+def _intern(handle: BinaryIO, tag: int, table: Dict[str, int], text: str) -> int:
+    index = table.get(text)
+    if index is None:
+        index = len(table)
+        table[text] = index
+        _write_string_def(handle, tag, index, text)
+    return index
+
+
+def _write_record(
+    handle: BinaryIO,
+    record: TraceRecord,
+    kinds: Dict[str, int],
+    names: Dict[str, int],
+) -> None:
+    kind_idx = _intern(handle, 0x01, kinds, record.kind)
+    fields = record.fields
+    parts = [_S_REC.pack(0x03, record.time, kind_idx, len(fields))]
+    for name, value in fields.items():
+        parts.append(_S_U16.pack(_intern(handle, 0x02, names, name)))
+        if value is True or value is False:
+            parts.append(_S_U8.pack(0x14) + _S_U8.pack(1 if value else 0))
+        elif isinstance(value, int):
+            if _I64_MIN <= value <= _I64_MAX:
+                parts.append(_S_U8.pack(0x10) + _S_I64.pack(value))
+            else:
+                data = str(value).encode("ascii")
+                parts.append(_S_U8.pack(0x11) + _S_U32.pack(len(data)) + data)
+        elif isinstance(value, float):
+            parts.append(_S_U8.pack(0x12) + _S_F64.pack(value))
+        elif isinstance(value, str):
+            data = value.encode("utf-8")
+            parts.append(_S_U8.pack(0x13) + _S_U32.pack(len(data)) + data)
+        elif value is None:
+            parts.append(_S_U8.pack(0x15))
+        else:
+            data = repr(value).encode("utf-8")
+            parts.append(_S_U8.pack(0x16) + _S_U32.pack(len(data)) + data)
+    handle.write(b"".join(parts))
+
+
+def _read_exact(handle: BinaryIO, n: int) -> bytes:
+    data = handle.read(n)
+    if len(data) != n:
+        raise ValueError(f"truncated spill file: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _read_value(handle: BinaryIO) -> Any:
+    tag = _read_exact(handle, 1)[0]
+    if tag == 0x10:
+        return _S_I64.unpack(_read_exact(handle, 8))[0]
+    if tag == 0x11:
+        (length,) = _S_U32.unpack(_read_exact(handle, 4))
+        return int(_read_exact(handle, length).decode("ascii"))
+    if tag == 0x12:
+        return _S_F64.unpack(_read_exact(handle, 8))[0]
+    if tag == 0x13:
+        (length,) = _S_U32.unpack(_read_exact(handle, 4))
+        return _read_exact(handle, length).decode("utf-8")
+    if tag == 0x14:
+        return bool(_read_exact(handle, 1)[0])
+    if tag == 0x15:
+        return None
+    if tag == 0x16:
+        (length,) = _S_U32.unpack(_read_exact(handle, 4))
+        return _read_exact(handle, length).decode("utf-8")
+    raise ValueError(f"unknown spill value tag 0x{tag:02x}")
+
+
+def read_spill(path: str) -> List[TraceRecord]:
+    """Load a :meth:`TraceCollector.spill_to` file back into records."""
+    kinds: Dict[int, str] = {}
+    names: Dict[int, str] = {}
+    records: List[TraceRecord] = []
+    with open(path, "rb") as handle:
+        if _read_exact(handle, len(_SPILL_MAGIC)) != _SPILL_MAGIC:
+            raise ValueError(f"{path!r} is not a trace spill file")
+        while True:
+            frame = handle.read(1)
+            if not frame:
+                break
+            tag = frame[0]
+            if tag in (0x01, 0x02):
+                (index,) = _S_U16.unpack(_read_exact(handle, 2))
+                (length,) = _S_U16.unpack(_read_exact(handle, 2))
+                text = _read_exact(handle, length).decode("utf-8")
+                (kinds if tag == 0x01 else names)[index] = text
+            elif tag == 0x03:
+                time, kind_idx, nfields = struct.unpack("<dHH", _read_exact(handle, 12))
+                fields = {}
+                for _ in range(nfields):
+                    (name_idx,) = _S_U16.unpack(_read_exact(handle, 2))
+                    fields[names[name_idx]] = _read_value(handle)
+                records.append(TraceRecord(time, kinds[kind_idx], fields))
+            else:
+                raise ValueError(f"unknown spill frame tag 0x{tag:02x}")
+    return records

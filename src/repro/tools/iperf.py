@@ -73,6 +73,12 @@ class IperfTCPServer:
         self.process = _make_process(node, sliver, "iperf-server")
         self.bytes_received = 0
         self.arrivals: List[Tuple[float, int]] = []
+        self.sim.metrics.counter(
+            "iperf.tcp.bytes_received",
+            fn=lambda: self.bytes_received,
+            node=node.name,
+            port=port,
+        )
         stack = TCPStack.of(node)
         self.listener = stack.listen(
             self.process,
@@ -221,6 +227,10 @@ class IperfUDPServer:
         self.jitter = 0.0
         self.jitter_samples: List[float] = []
         self._last_transit: Optional[float] = None
+        metrics = self.sim.metrics
+        labels = dict(node=node.name, port=port)
+        metrics.counter("iperf.udp.received", fn=lambda: self.received, **labels)
+        metrics.gauge("iperf.udp.jitter", fn=lambda: self.jitter, **labels)
 
     def _on_datagram(self, packet, src, sport) -> None:
         self.received += 1
@@ -269,6 +279,9 @@ class IperfUDPClient:
         self.sent = 0
         self.interval = payload * 8 / rate_bps
         self._deadline: Optional[float] = None
+        self.sim.metrics.counter(
+            "iperf.udp.sent", fn=lambda: self.sent, node=node.name, port=port
+        )
 
     def start(self) -> "IperfUDPClient":
         self._deadline = self.sim.now + self.duration

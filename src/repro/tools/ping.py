@@ -92,6 +92,13 @@ class Ping:
         self._outstanding = {}
         self._running = False
         self._send_event = None
+        metrics = self.sim.metrics
+        # ident is unique per Ping instance, so sequential pings between
+        # the same pair keep separate series.
+        labels = dict(src=node.name, dst=str(self.dst), ident=self.ident)
+        metrics.counter("ping.transmitted", fn=lambda: self.transmitted, **labels)
+        metrics.counter("ping.received", fn=lambda: self.received, **labels)
+        self.rtt_hist = metrics.histogram("ping.rtt", **labels)
         node.icmp_register(
             self.ident,
             self._on_reply,
@@ -150,6 +157,7 @@ class Ping:
             return
         self.received += 1
         self.samples.append((sent_at, seq, rtt))
+        self.rtt_hist.observe(rtt)
         self.sim.trace.log(
             "ping", src=self.node.name, dst=str(self.dst), seq=seq, rtt=rtt
         )

@@ -1,0 +1,133 @@
+"""Unit tests for repro.obs.export: JSONL/CSV exporters, series CSV,
+commit detection, and the BenchTrajectory artifact."""
+
+import json
+import os
+
+from repro.obs import (
+    BenchTrajectory,
+    MetricsRegistry,
+    PeriodicSampler,
+    detect_commit,
+    export_csv,
+    export_jsonl,
+    export_series_csv,
+    registry_csv,
+    registry_jsonl,
+)
+from repro.sim import Simulator
+
+
+def _populated_registry():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("pkts", node="b").inc(3)
+    reg.counter("pkts", node="a").inc(1)
+    reg.gauge("depth", node="a").set(2.5)
+    h = reg.histogram("rtt", node="a")
+    for v in (0.076, 0.093, 0.076):
+        h.observe(v)
+    return reg
+
+
+def test_registry_jsonl_sorted_and_parseable():
+    text = registry_jsonl(_populated_registry())
+    lines = text.strip().split("\n")
+    rows = [json.loads(line) for line in lines]
+    names = [r["name"] for r in rows]
+    assert names == sorted(names)
+    (hist_row,) = [r for r in rows if r["type"] == "histogram"]
+    assert hist_row["count"] == 3
+    assert hist_row["min"] == 0.076
+
+
+def test_registry_jsonl_extra_fields_and_empty():
+    text = registry_jsonl(_populated_registry(), extra={"seed": 7})
+    assert all(json.loads(line)["seed"] == 7 for line in text.strip().split("\n"))
+    assert registry_jsonl(MetricsRegistry(enabled=True)) == ""
+
+
+def test_jsonl_export_is_byte_deterministic(tmp_path):
+    a = registry_jsonl(_populated_registry())
+    b = registry_jsonl(_populated_registry())
+    assert a == b
+    path = export_jsonl(_populated_registry(), str(tmp_path / "m.jsonl"))
+    with open(path) as handle:
+        assert handle.read() == a
+
+
+def test_registry_csv_shape(tmp_path):
+    text = registry_csv(_populated_registry())
+    lines = text.strip().split("\n")
+    assert lines[0].startswith("name,labels,type,value,count,sum")
+    assert len(lines) == 1 + 4  # header + 4 metrics
+    assert "node=a" in text
+    path = export_csv(_populated_registry(), str(tmp_path / "m.csv"))
+    with open(path) as handle:
+        assert handle.read() == text
+
+
+def test_export_series_csv(tmp_path):
+    sim = Simulator()
+    counter = sim.metrics.counter("n")
+    hist = sim.metrics.histogram("lat")
+    sim.schedule_periodic(0.5, lambda: (counter.inc(), hist.observe(0.01)))
+    sampler = PeriodicSampler(sim, 1.0)
+    sampler.watch("n", metric=counter).watch("lat", metric=hist).start()
+    sim.run(until=2.0)
+    path = export_series_csv(sampler, str(tmp_path / "series.csv"))
+    with open(path) as handle:
+        lines = handle.read().strip().split("\n")
+    assert lines[0] == "key,time,value,count,sum"
+    n_rows = [line for line in lines if line.startswith("n,")]
+    lat_rows = [line for line in lines if line.startswith("lat,")]
+    assert len(n_rows) == len(lat_rows) == 3  # t = 0, 1, 2
+    # Histogram rows carry (count, sum); scalar rows carry value. The
+    # t=2.0 snapshot precedes the same-timestamp workload event, so it
+    # sees the 3 increments at t = 0.5, 1.0, 1.5.
+    assert lat_rows[-1].split(",")[3] == "3"
+    assert n_rows[-1].split(",")[2] == "3"
+
+
+def test_detect_commit_reads_head(tmp_path):
+    git = tmp_path / "repo" / ".git"
+    os.makedirs(git / "refs" / "heads")
+    (git / "HEAD").write_text("ref: refs/heads/main\n")
+    (git / "refs" / "heads" / "main").write_text("a" * 40 + "\n")
+    nested = tmp_path / "repo" / "sub" / "dir"
+    os.makedirs(nested)
+    assert detect_commit(str(nested)) == "a" * 12
+    # Detached HEAD.
+    (git / "HEAD").write_text("b" * 40 + "\n")
+    assert detect_commit(str(nested)) == "b" * 12
+    # Packed refs.
+    (git / "HEAD").write_text("ref: refs/heads/packed\n")
+    (git / "packed-refs").write_text("# pack-refs\n" + "c" * 40 + " refs/heads/packed\n")
+    assert detect_commit(str(nested)) == "c" * 12
+    assert detect_commit(str(tmp_path)) is None  # not a repo
+
+
+def test_detect_commit_on_this_repo():
+    commit = detect_commit(os.path.dirname(__file__))
+    assert commit is not None and len(commit) == 12
+
+
+def test_bench_trajectory_round_trip(tmp_path):
+    trajectory = BenchTrajectory(name="t", results_dir=str(tmp_path))
+    assert trajectory.rows() == []
+    row1 = trajectory.append({"events_per_sec": 1.5e6}, commit="abc123",
+                             timestamp="2026-08-06T00:00:00Z")
+    trajectory.append({"events_per_sec": 1.6e6}, commit="def456",
+                      timestamp="2026-08-06T01:00:00Z")
+    rows = trajectory.rows()
+    assert [r["commit"] for r in rows] == ["abc123", "def456"]
+    assert rows[0] == row1
+    # Appending never rewrites earlier lines.
+    with open(trajectory.path) as handle:
+        assert len(handle.read().strip().split("\n")) == 2
+
+
+def test_bench_trajectory_stamps_commit_and_time(tmp_path):
+    trajectory = BenchTrajectory(name="auto", results_dir=str(tmp_path))
+    row = trajectory.append({"x": 1})
+    assert "commit" in row and "timestamp" in row
+    assert row["timestamp"].endswith("Z")

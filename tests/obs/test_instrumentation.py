@@ -1,0 +1,111 @@
+"""The instrumented hot paths publish registry values that equal the
+legacy object-attribute readouts — the contract the rewritten benches
+lean on."""
+
+from repro.obs import MetricsRegistry
+from repro.tools import IperfTCPClient, IperfTCPServer, Ping
+from repro.topologies import build_abilene_iias, build_deter
+
+
+def test_deter_world_metrics_match_legacy_attributes():
+    vini = build_deter(seed=4)
+    metrics = vini.sim.metrics
+    server = IperfTCPServer(vini.nodes["sink"])
+    IperfTCPClient(
+        vini.nodes["src"], vini.nodes["sink"].address,
+        streams=2, duration=0.3, server=server,
+    ).start()
+    ping = Ping(
+        vini.nodes["src"], vini.nodes["sink"].address,
+        interval=0.05, count=5,
+    ).start()
+    vini.run(until=1.0)
+
+    # Engine gauges read the live scheduler state.
+    assert metrics.value("sim.now") == vini.sim.now
+    assert metrics.value("sim.pending") == vini.sim.pending
+    assert metrics.value("sim.events_scheduled") > 0
+
+    # CPU accounting: the pull counter IS the scheduler's busy_time.
+    for name, node in vini.nodes.items():
+        assert metrics.value("cpu.busy_seconds", cpu=f"{name}.cpu") == node.cpu.busy_time
+    latencies = list(metrics.find("cpu.sched_latency"))
+    assert latencies and any(h.count > 0 for h in latencies)
+
+    # Links: per-direction counters conserve packets.
+    offered = metrics.sum_values("link.offered_pkts")
+    delivered = metrics.sum_values("link.delivered_pkts")
+    dropped = metrics.sum_values("link.dropped_pkts")
+    assert offered > 0
+    assert delivered + dropped <= offered  # <= : packets may be in flight
+    assert metrics.sum_values("link.delivered_bytes") > 0
+
+    # Transport + tools equal their legacy readouts.
+    from repro.net.tcp import TCPStack
+
+    sink_stack = TCPStack.of(vini.nodes["sink"])
+    assert (
+        metrics.value("tcp.bytes_received", node="sink")
+        == sink_stack.total_bytes_received
+    )
+    assert (
+        metrics.value("iperf.tcp.bytes_received", node="sink", port=5001)
+        == server.bytes_received
+    )
+    labels = dict(src="src", dst=str(ping.dst), ident=ping.ident)
+    assert metrics.value("ping.transmitted", **labels) == ping.transmitted
+    assert metrics.value("ping.received", **labels) == ping.received
+    hist = metrics.get("ping.rtt", **labels)
+    assert hist.count == len(ping.samples)
+    assert hist.sum == sum(rtt for _t, _s, rtt in ping.samples)
+
+
+def test_abilene_overlay_publishes_click_and_ospf_metrics():
+    vini, exp = build_abilene_iias(seed=6)
+    exp.run(until=35.0)
+    metrics = vini.sim.metrics
+
+    # Every virtual link end's Click loss element registered pull counters.
+    loss_series = list(metrics.find("click.loss.delivered_pkts"))
+    assert loss_series
+    assert all("node" in m.labels and "element" in m.labels for m in loss_series)
+    assert metrics.sum_values("click.loss.delivered_pkts") > 0
+    # Tunnels carried the overlay's traffic.
+    assert metrics.sum_values("click.tunnel.tx_pkts") > 0
+    assert metrics.sum_values("click.tunnel.rx_pkts") > 0
+
+    # OSPF converged: hellos flowed, SPF ran, LSDBs filled, adjacencies
+    # reached FULL — and the pull values equal the daemon attributes.
+    assert metrics.sum_values("ospf.messages_sent", type="hello") > 0
+    assert metrics.sum_values("ospf.messages_received", type="hello") > 0
+    from repro.routing.ospf import _rid
+
+    for vnode in exp.network.nodes.values():
+        daemon = vnode.xorp.ospf
+        if daemon is None:
+            continue
+        rid = _rid(daemon.router_id)
+        row = [m for m in metrics.find("ospf.spf_runs", router=rid)]
+        assert len(row) == 1 and row[0].value == daemon.spf_runs
+        assert metrics.value("ospf.lsdb_size", router=rid) == len(daemon.lsdb)
+        assert metrics.value("ospf.neighbors_full", router=rid) >= 1
+        assert metrics.value("ospf.last_spf_time", router=rid) > 0
+
+
+def test_disabled_world_registers_no_instruments():
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = False
+    try:
+        vini = build_deter(seed=4)
+        server = IperfTCPServer(vini.nodes["sink"])
+        IperfTCPClient(
+            vini.nodes["src"], vini.nodes["sink"].address,
+            streams=1, duration=0.2, server=server,
+        ).start()
+        vini.run(until=0.5)
+        assert len(vini.sim.metrics) == 0
+        assert vini.sim.metrics.collect() == []
+        # The world still worked — only the bookkeeping is gone.
+        assert server.bytes_received > 0
+    finally:
+        MetricsRegistry.default_enabled = old
