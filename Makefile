@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test tier2-bench-smoke bench profile
+.PHONY: test tier2-bench-smoke bench profile flight
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -21,3 +21,9 @@ bench:
 # printing the per-component event-loop breakdown.
 profile:
 	$(PYTHON) benchmarks/profile_scenario.py
+
+# Flight recorder: slowest-flight latency decomposition of a Table-5
+# ping run, plus a Perfetto trace under benchmarks/results/.
+flight:
+	$(PYTHON) -m repro.obs.flight --config plvini --slowest 10 \
+		--export benchmarks/results/flight_table5.json

@@ -55,6 +55,9 @@ class LossElement(Element):
                 "loss_drop", node=self.router.node.name, element=self.name,
                 reason=reason, uid=packet.uid,
             )
+        fr = self.router.sim.flight
+        if fr.enabled:
+            fr.flight_drop(packet, reason, node=self.router.node.name)
 
     def push(self, port: int, packet: Packet) -> None:
         if self.failed:
@@ -65,4 +68,7 @@ class LossElement(Element):
                 self._drop(packet, "loss_prob")
                 return
         self.passed += 1
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "click.loss", node=self.router.node.name)
         self.output(0).push(packet)

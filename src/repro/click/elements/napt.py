@@ -123,6 +123,9 @@ class NAPT(Element):
         header.src = self.public_addr
         transport.sport = public_port
         self.translated_out += 1
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "click.napt", node=self.router.node.name)
         self.output(0).push(packet)
 
     def _return_traffic(self, packet: Packet) -> None:
@@ -149,6 +152,9 @@ class NAPT(Element):
         transport = packet.tcp if proto == PROTO_TCP else packet.udp
         transport.dport = private_port
         self.translated_in += 1
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "click.napt", node=self.router.node.name)
         self.output(1).push(packet)
 
     # ------------------------------------------------------------------

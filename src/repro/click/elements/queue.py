@@ -50,6 +50,11 @@ class Queue(Element):
             return
         self._queue.append(packet)
         self.highwater = max(self.highwater, len(self._queue))
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            # Residency: the stage closes when the puller pushes the
+            # packet into the next element.
+            fr.stage(packet, "click.queue", node=self.router.node.name)
 
     def pop(self) -> Optional[Packet]:
         if not self._queue:
@@ -130,6 +135,10 @@ class Shaper(Element):
             return
         self._queue.append(packet)
         self._queued_bytes += size
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            # Pacing residency: closed when _release pushes the packet on.
+            fr.stage(packet, "click.shaper", node=self.router.node.name)
         self._schedule()
 
     def _schedule(self) -> None:

@@ -51,6 +51,9 @@ class UDPTunnel(Element):
     def push(self, port: int, packet: Packet) -> None:
         """Encapsulate and transmit toward the remote tunnel endpoint."""
         self.tx_packets += 1
+        fr = self.router.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "tunnel.encap", node=self.router.node.name)
         self.sock.sendto(
             OpaquePayload(packet.wire_len, data=packet, tag="tunnel"),
             self.remote_addr,
@@ -63,6 +66,11 @@ class UDPTunnel(Element):
             self.router.trace_drop(outer, "tunnel_garbage")
             return
         self.rx_packets += 1
+        fr = self.router.sim.flight
+        if fr.enabled and inner.span is not None:
+            # The inner packet traveled by reference inside the outer
+            # datagram, so its span context survived encapsulation.
+            fr.stage(inner, "tunnel.decap", node=self.router.node.name)
         self.output(0).push(inner)
 
     def close(self) -> None:

@@ -350,7 +350,8 @@ class Packet:
     and consumed by the encapsulation table).
     """
 
-    __slots__ = ("headers", "payload", "meta", "uid", "created_at", "_wire_len", "_cow")
+    __slots__ = ("headers", "payload", "meta", "uid", "created_at", "span",
+                 "_wire_len", "_cow")
 
     def __init__(
         self,
@@ -364,6 +365,10 @@ class Packet:
         self.meta: Dict[str, Any] = meta if meta is not None else {}
         self.uid = next(_packet_ids)
         self.created_at = created_at
+        # Flight-recorder span context (repro.obs.spans.SpanContext), or
+        # None for untracked packets. Shared by reference across copies
+        # and encapsulations: the context *is* the flight's identity.
+        self.span = None
         self._wire_len: Optional[int] = None  # cache; see wire_len
         self._cow = False  # headers may be shared with another packet
 
@@ -455,18 +460,21 @@ class Packet:
         ``decap`` on one side never affect the other.
         """
         if deep:
-            return Packet(
+            clone = Packet(
                 headers=[h.copy() for h in self.headers],
                 payload=self.payload.copy(),
                 meta=dict(self.meta),
                 created_at=self.created_at,
             )
+            clone.span = self.span
+            return clone
         clone = Packet.__new__(Packet)
         clone.headers = list(self.headers)
         clone.payload = self.payload
         clone.meta = dict(self.meta) if self.meta else {}
         clone.uid = next(_packet_ids)
         clone.created_at = self.created_at
+        clone.span = self.span
         clone._wire_len = self._wire_len
         clone._cow = True
         self._cow = True

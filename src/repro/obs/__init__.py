@@ -8,17 +8,24 @@ first-class layer instead of ad-hoc trace scans:
   :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments keyed
   by ``(name, labels)``; every :class:`~repro.sim.engine.Simulator`
   owns one as ``sim.metrics``.
+* :mod:`repro.obs.spans` — :class:`FlightRecorder`, causal per-packet
+  span tracing (``sim.flight``): why was *this* packet slow, stage by
+  stage, plus the OSPF convergence span tree.
 * :mod:`repro.obs.sampler` — :class:`PeriodicSampler`, sim-clock
   snapshots of metrics into time series without perturbing event order.
 * :mod:`repro.obs.profiler` — :class:`Profiler`, per-component
-  wall-time attribution of the event loop, zero-cost when not
-  installed.
-* :mod:`repro.obs.export` — deterministic JSONL/CSV exporters and the
-  per-commit :class:`BenchTrajectory` artifact writer.
+  wall-time (or sim-time) attribution of the event loop, zero-cost
+  when not installed.
+* :mod:`repro.obs.export` — deterministic JSONL/CSV exporters, the
+  Perfetto/Chrome-trace flight exporter, and the per-commit
+  :class:`BenchTrajectory` artifact writer.
+* :mod:`repro.obs.flight` — the ``python -m repro.obs.flight`` CLI:
+  slowest-N latency decomposition of a Table-4/5 ping run.
 
 Nothing in this package imports :mod:`repro.sim` at module level: the
-engine imports the registry, so the dependency must stay one-way (the
-profiler's timer-unwrapping does a lazy import inside the call).
+engine imports the registry and the null flight recorder, so the
+dependency must stay one-way (the profiler's timer-unwrapping does a
+lazy import inside the call).
 """
 
 from repro.obs.export import (
@@ -26,7 +33,10 @@ from repro.obs.export import (
     detect_commit,
     export_csv,
     export_jsonl,
+    export_perfetto,
     export_series_csv,
+    perfetto_events,
+    perfetto_json,
     registry_csv,
     registry_jsonl,
 )
@@ -41,22 +51,39 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import Profiler
 from repro.obs.sampler import PeriodicSampler
+from repro.obs.spans import (
+    Flight,
+    FlightRecorder,
+    NULL_RECORDER,
+    NullFlightRecorder,
+    Span,
+    SpanContext,
+)
 
 __all__ = [
     "BenchTrajectory",
     "Counter",
     "DEFAULT_BUCKETS",
+    "Flight",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRIC",
+    "NULL_RECORDER",
+    "NullFlightRecorder",
     "PeriodicSampler",
     "Profiler",
+    "Span",
+    "SpanContext",
     "detect_commit",
     "export_csv",
     "export_jsonl",
+    "export_perfetto",
     "export_series_csv",
     "log_buckets",
+    "perfetto_events",
+    "perfetto_json",
     "registry_csv",
     "registry_jsonl",
 ]

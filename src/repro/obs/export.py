@@ -25,7 +25,8 @@ import time
 from typing import Any, Dict, Iterable, List, Optional
 
 #: Column order for registry CSV exports: identity, scalar readout,
-#: then the distribution summary (blank for counters/gauges).
+#: the distribution summary, then the raw buckets (blank for
+#: counters/gauges).
 CSV_FIELDS = (
     "name",
     "labels",
@@ -39,11 +40,25 @@ CSV_FIELDS = (
     "p50",
     "p95",
     "p99",
+    "buckets",
 )
 
 
 def _format_labels(labels: Dict[str, Any]) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _format_buckets(buckets: List[List[Any]]) -> str:
+    """Compact ``le:cumulative`` pairs for the CSV ``buckets`` column.
+
+    Leading all-zero buckets are elided (a zero cumulative count says
+    nothing a dashboard cannot infer); the ``+Inf`` bound is always
+    kept so the total is recoverable from the column alone.
+    """
+    return ";".join(
+        f"{bound}:{count}" for bound, count in buckets
+        if count or bound == "+Inf"
+    )
 
 
 def registry_jsonl(registry, extra: Optional[Dict[str, Any]] = None) -> str:
@@ -75,6 +90,8 @@ def registry_csv(registry) -> str:
     writer.writeheader()
     for row in registry.collect():
         row = dict(row, labels=_format_labels(row["labels"]))
+        if "buckets" in row:
+            row["buckets"] = _format_buckets(row["buckets"])
         writer.writerow(row)
     return buffer.getvalue()
 
@@ -101,6 +118,96 @@ def export_series_csv(sampler, path: str, keys: Optional[Iterable[str]] = None) 
                     writer.writerow([key, repr(t), "", value[0], repr(value[1])])
                 else:
                     writer.writerow([key, repr(t), repr(value), "", ""])
+    return path
+
+
+# ----------------------------------------------------------------------
+# Flight recorder -> Chrome trace events (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def _us(t: float) -> float:
+    """Sim seconds -> trace microseconds (ns precision, stable repr)."""
+    return round(t * 1e6, 3)
+
+
+def perfetto_events(recorder) -> List[Dict[str, Any]]:
+    """A flight recorder's retained data as Chrome trace events.
+
+    Layout: one trace "process" per location (node or link name, sorted
+    for stable pids), one track (tid) per trace id, complete ("X")
+    events for spans and stages, zero-duration events for instants.
+    Construction order — metadata, flights by trace id, control-plane
+    spans in completion order — is deterministic, so same-seed runs
+    serialize byte-identically.
+    """
+    flights = recorder.flights()
+    control = recorder.control_spans()
+    nodes = set()
+    for flight in flights:
+        nodes.add(flight.node)
+        for span in flight.spans:
+            nodes.add(span.node)
+    for span in control:
+        nodes.add(span.node)
+    pids: Dict[str, int] = {}
+    for index, name in enumerate(sorted(n for n in nodes if n), start=1):
+        pids[name] = index
+    pids[""] = 0
+    events: List[Dict[str, Any]] = []
+    for name, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name or "(global)"},
+        })
+    for flight in flights:
+        args: Dict[str, Any] = {
+            "trace": flight.trace_id, "span": flight.root_id,
+            "status": flight.status,
+        }
+        if flight.meta:
+            args.update(flight.meta)
+        events.append({
+            "ph": "X", "cat": "flight", "name": flight.name,
+            "pid": pids[flight.node], "tid": flight.trace_id,
+            "ts": _us(flight.start), "dur": _us(flight.duration),
+            "args": args,
+        })
+        for span in flight.spans:
+            events.append({
+                "ph": "X", "cat": "stage", "name": span.name,
+                "pid": pids[span.node], "tid": flight.trace_id,
+                "ts": _us(span.start), "dur": _us(span.duration),
+                "args": {"trace": span.trace_id, "span": span.span_id,
+                         "parent": span.parent_id},
+            })
+    for span in control:
+        args = {"trace": span.trace_id, "span": span.span_id,
+                "parent": span.parent_id}
+        if span.meta:
+            args.update(span.meta)
+        events.append({
+            "ph": "X", "cat": "control", "name": span.name,
+            "pid": pids[span.node], "tid": span.trace_id,
+            "ts": _us(span.start), "dur": _us(span.duration),
+            "args": args,
+        })
+    return events
+
+
+def perfetto_json(recorder) -> str:
+    """Deterministic Chrome-trace-event JSON for ``recorder``."""
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": perfetto_events(recorder),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def export_perfetto(recorder, path: str) -> str:
+    """Write the recorder's Perfetto/Chrome trace JSON to ``path``."""
+    text = perfetto_json(recorder)
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        handle.write(text)
     return path
 
 

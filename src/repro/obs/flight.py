@@ -1,0 +1,194 @@
+"""``python -m repro.obs.flight`` — per-flight latency decomposition.
+
+Rebuilds the paper's Table 4/5 PlanetLab setting (Chicago -- New York
+-- Washington over Abilene, with contending-slice background load),
+runs a Table-5-style ping with a :class:`~repro.obs.spans.FlightRecorder`
+installed, and answers the headline question: *show the slowest N
+flights and break each one down per stage*.
+
+For every retained flight the stage spans tile the whole journey, so
+the printed per-stage microseconds sum to the flight's end-to-end RTT
+exactly (the CLI asserts this, within float round-off). ``--export``
+additionally writes the deterministic Perfetto / Chrome-trace JSON for
+the run (load it at https://ui.perfetto.dev or ``chrome://tracing``).
+
+This module duplicates the small world-builder from
+``benchmarks/common.py`` on purpose: the ``benchmarks`` package lives
+outside ``src/`` and is not importable from an installed ``repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Tuple
+
+from repro.obs.export import export_perfetto
+from repro.obs.spans import FlightRecorder, Flight
+
+#: Fig. 5 slice of Abilene used by Section 5.1.2 (propagation delays
+#: come from the topology module; 100 Mb/s PlanetLab node Ethernet).
+POPS = ("chicago", "newyork", "washington")
+ACCESS_BW = 100e6
+
+#: How far a flight's stage-duration sum may drift from its measured
+#: end-to-end duration before the CLI flags it (ISSUE acceptance: 1 µs).
+SUM_TOLERANCE = 1e-6
+
+
+def build_world(config: str, seed: int, loaded: bool, warmup: float):
+    """The Chicago--NY--Washington world in one of the paper's three
+    configurations (mirrors ``benchmarks.common.build_planetlab_world``)."""
+    from repro.core import VINI, Experiment
+    from repro.phys.load import CPUHog
+    from repro.topologies.abilene import ABILENE_LINKS
+
+    if config not in ("network", "planetlab", "plvini"):
+        raise ValueError(f"unknown config {config!r}")
+    vini = VINI(seed=seed)
+    for name in POPS:
+        vini.add_node(name)
+    for a, b in zip(POPS, POPS[1:]):
+        vini.connect(a, b, bandwidth=ACCESS_BW, delay=ABILENE_LINKS[(a, b)],
+                     queue_bytes=256 * 1024)
+    vini.install_underlay_routes()
+    exp = None
+    if config != "network":
+        exp = Experiment(
+            vini,
+            "iias",
+            cpu_reservation=0.25 if config == "plvini" else 0.0,
+            realtime=(config == "plvini"),
+        )
+        for name in POPS:
+            exp.add_node(name, name)
+        for a, b in zip(POPS, POPS[1:]):
+            exp.connect(a, b)
+        exp.configure_ospf(hello_interval=5.0, dead_interval=10.0)
+        exp.start()
+    if loaded:
+        for node in vini.nodes.values():
+            for index in range(7):
+                CPUHog(node, name=f"slice{index}", quantum=0.0005,
+                       heavy_tail_prob=0.006, heavy_tail_max=0.045).start()
+    vini.run(until=warmup)
+    return vini, exp
+
+
+def endpoints(vini, exp):
+    """(src node, src sliver, destination address) for the ping."""
+    src = vini.nodes[POPS[0]]
+    if exp is None:
+        return src, None, vini.nodes[POPS[-1]].address
+    return (
+        src,
+        exp.network.nodes[POPS[0]].sliver,
+        exp.network.nodes[POPS[-1]].tap_addr,
+    )
+
+
+def run_flights(
+    config: str = "plvini",
+    count: int = 100,
+    interval: float = 0.1,
+    seed: int = 17,
+    warmup: float = 30.0,
+    loaded: bool = True,
+    capacity: int = 1024,
+    policy: str = "slowest",
+) -> Tuple[FlightRecorder, "object"]:
+    """Build the world, run the traced ping, return (recorder, ping)."""
+    from repro.tools.ping import Ping
+
+    vini, exp = build_world(config, seed=seed, loaded=loaded, warmup=warmup)
+    recorder = FlightRecorder(vini.sim, capacity=capacity,
+                              policy=policy).install()
+    src, sliver, dst = endpoints(vini, exp)
+    ping = Ping(src, dst, sliver=sliver, interval=interval,
+                count=count).start()
+    start = vini.sim.now
+    vini.run(until=start + count * interval + 5.0)
+    return recorder, ping
+
+
+def decomposition_error(flight: Flight) -> float:
+    """|sum of stage durations - end-to-end duration| in seconds."""
+    return abs(sum(d for _n, _l, d in flight.stage_durations())
+               - flight.duration)
+
+
+def format_flight(flight: Flight, index: int) -> str:
+    total = flight.duration
+    meta = flight.meta or {}
+    lines = [
+        "#%d flight %d (%s seq=%s) %s: rtt %.1f us over %d stages" % (
+            index, flight.trace_id, flight.name, meta.get("seq", "?"),
+            flight.status, total * 1e6, len(flight.spans),
+        )
+    ]
+    for name, node, duration in flight.stage_durations():
+        share = (100.0 * duration / total) if total else 0.0
+        lines.append("    %-14s %-12s %12.1f us  %5.1f%%" % (
+            name, node or "-", duration * 1e6, share))
+    error = decomposition_error(flight)
+    lines.append("    %-14s %-12s %12.1f us  100.0%%  (sum-vs-rtt err %.3g us)"
+                 % ("total", "", total * 1e6, error * 1e6))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.flight",
+        description="Slowest-flight latency decomposition of a Table-5 "
+                    "PlanetLab ping run.",
+    )
+    parser.add_argument("--config", default="plvini",
+                        choices=("network", "planetlab", "plvini"),
+                        help="paper configuration to run (default: plvini)")
+    parser.add_argument("--count", type=int, default=100,
+                        help="ping packets to send (default: 100)")
+    parser.add_argument("--interval", type=float, default=0.1,
+                        help="seconds between pings (default: 0.1)")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="world RNG seed (default: 17)")
+    parser.add_argument("--warmup", type=float, default=30.0,
+                        help="sim-seconds of warmup before measuring")
+    parser.add_argument("--slowest", type=int, default=10,
+                        help="how many flights to break down (default: 10)")
+    parser.add_argument("--unloaded", action="store_true",
+                        help="skip the contending-slice background load")
+    parser.add_argument("--export", metavar="PATH", default=None,
+                        help="write Perfetto/Chrome-trace JSON to PATH")
+    args = parser.parse_args(argv)
+
+    recorder, ping = run_flights(
+        config=args.config, count=args.count, interval=args.interval,
+        seed=args.seed, warmup=args.warmup, loaded=not args.unloaded,
+    )
+    stats = ping.stats()
+    print("config=%s seed=%d: %d transmitted, %d received, "
+          "rtt min/avg/max = %.1f/%.1f/%.1f us" % (
+              args.config, args.seed, stats.transmitted, stats.received,
+              stats.min_rtt * 1e6, stats.avg_rtt * 1e6, stats.max_rtt * 1e6))
+    print("flights: %d started, %d completed, %d retained, %d evicted, "
+          "%d still open" % (
+              recorder.flights_started, recorder.flights_completed,
+              len(recorder.flights()), recorder.flights_evicted,
+              len(recorder.open_flights())))
+    print()
+    worst_error = 0.0
+    for index, flight in enumerate(recorder.slowest(args.slowest), start=1):
+        print(format_flight(flight, index))
+        print()
+        worst_error = max(worst_error, decomposition_error(flight))
+    if worst_error > SUM_TOLERANCE:
+        print("WARNING: stage sums drift from RTT by up to %.3g us"
+              % (worst_error * 1e6))
+        return 1
+    if args.export:
+        path = export_perfetto(recorder, args.export)
+        print("wrote Perfetto trace: %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -257,7 +257,23 @@ class Histogram(Metric):
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            # Raw buckets so dashboards can draw real percentile curves
+            # instead of re-deriving them from three summary points.
+            # ``le`` follows Prometheus: counts are cumulative per upper
+            # bound, with +Inf as the final bound.
+            "buckets": self.cumulative_buckets(),
         }
+
+    def cumulative_buckets(self) -> List[List[Any]]:
+        """``[upper_bound, cumulative_count]`` pairs (Prometheus ``le``
+        semantics); the final bound is ``"+Inf"``."""
+        pairs: List[List[Any]] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            cumulative += count
+            pairs.append([bound, cumulative])
+        pairs.append(["+Inf", self.count])
+        return pairs
 
 
 class NullMetric:

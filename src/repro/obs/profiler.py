@@ -36,16 +36,45 @@ from typing import Any, Callable, Dict, List, Optional
 
 
 class Profiler:
-    """Per-component wall-time and event-count attribution."""
+    """Per-component time and event-count attribution.
 
-    def __init__(self, sim=None, clock: Callable[[], float] = time.perf_counter):
+    ``timebase`` selects what "time" means:
+
+    * ``"wall"`` (default) — seconds of real CPU time spent inside each
+      callback, measured with ``clock``: where does the *simulator*
+      burn its cycles?
+    * ``"sim"`` — seconds of *virtual* time. Callbacks cannot advance
+      ``sim.now``, so each event is charged the sim-time gap since the
+      previous dispatched event: which component is the simulated world
+      waiting on? Comparing the two reports validates the cost model
+      (a component hot in sim time but cold in wall time is modeled
+      expensive; the reverse is an implementation hotspot).
+    """
+
+    def __init__(
+        self,
+        sim=None,
+        clock: Callable[[], float] = time.perf_counter,
+        timebase: str = "wall",
+    ):
+        if timebase not in ("wall", "sim"):
+            raise ValueError(
+                f"timebase must be 'wall' or 'sim', got {timebase!r}"
+            )
         self.sim = sim
-        self._clock = clock
+        self.timebase = timebase
+        self._sim_time = timebase == "sim"
+        self._clock = self._sim_clock if self._sim_time else clock
+        # Sim time of the previous dispatched event (sim mode only).
+        self._last_sim: Optional[float] = None
         # component -> [event count, seconds inside callbacks]
         self._stats: Dict[str, List[float]] = {}
         # (owner type or None, function object) -> component name
         self._component_cache: Dict[Any, str] = {}
         self.loop_seconds = 0.0
+
+    def _sim_clock(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
 
     # ------------------------------------------------------------------
     # Installation
@@ -79,10 +108,17 @@ class Profiler:
     # ------------------------------------------------------------------
     def dispatch(self, event) -> None:
         fn = event.fn
-        clock = self._clock
-        start = clock()
-        fn(*event.args)
-        elapsed = clock() - start
+        if self._sim_time:
+            now = self.sim.now
+            last = self._last_sim
+            elapsed = (now - last) if last is not None else 0.0
+            self._last_sim = now
+            fn(*event.args)
+        else:
+            clock = self._clock
+            start = clock()
+            fn(*event.args)
+            elapsed = clock() - start
         owner = getattr(fn, "__self__", None)
         cache_key = (type(owner), getattr(fn, "__func__", fn))
         component = self._component_cache.get(cache_key)
@@ -200,6 +236,7 @@ class Profiler:
     def reset(self) -> None:
         self._stats.clear()
         self.loop_seconds = 0.0
+        self._last_sim = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "installed" if self.installed else "detached"

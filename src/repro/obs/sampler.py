@@ -45,14 +45,41 @@ def _reader_for(metric) -> Callable[[], Any]:
 
 
 class PeriodicSampler:
-    """Snapshot watched metrics every ``interval`` sim-seconds."""
+    """Snapshot watched metrics every ``interval`` sim-seconds.
 
-    def __init__(self, sim, interval: float, name: str = "sampler"):
+    Retention (for multi-hour runs): with ``max_points`` set, each
+    probe's series is capped. ``retention="tail"`` keeps the newest
+    ``max_points`` snapshots (a sliding window); ``retention="decimate"``
+    thins the *older* points ``decimate``:1 whenever the cap is reached,
+    keeping every ``decimate``-th old point at coarse resolution while
+    recent history stays dense.
+    """
+
+    def __init__(
+        self,
+        sim,
+        interval: float,
+        name: str = "sampler",
+        max_points: Optional[int] = None,
+        retention: str = "tail",
+        decimate: int = 10,
+    ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
+        if retention not in ("tail", "decimate"):
+            raise ValueError(
+                f"retention must be 'tail' or 'decimate', got {retention!r}"
+            )
+        if max_points is not None and max_points <= 0:
+            raise ValueError(f"max_points must be positive, got {max_points!r}")
+        if decimate < 2:
+            raise ValueError(f"decimate must be >= 2, got {decimate!r}")
         self.sim = sim
         self.interval = interval
         self.name = name
+        self.max_points = max_points
+        self.retention = retention
+        self.decimate = decimate
         self._probes: Dict[str, _Probe] = {}
         self._handle = None
 
@@ -93,8 +120,22 @@ class PeriodicSampler:
 
     def _tick(self) -> None:
         now = self.sim.now
+        cap = self.max_points
         for probe in self._probes.values():
             probe.points.append((now, probe.read()))
+            if cap is not None and len(probe.points) > cap:
+                self._trim(probe.points)
+
+    def _trim(self, points: List[Tuple[float, Any]]) -> None:
+        if self.retention == "tail":
+            del points[: len(points) - self.max_points]
+        else:
+            # Thin the older half decimate:1 in place; the recent half
+            # keeps full resolution. Repeated trims re-thin the (ever
+            # coarser) prefix, so total retention stays bounded while
+            # old history remains visible at low resolution.
+            half = len(points) // 2
+            points[:half] = points[0:half:self.decimate]
 
     # ------------------------------------------------------------------
     # Readback

@@ -34,6 +34,9 @@ class _VPNEncap:
         self.client_port = client_port
 
     def push(self, _port: int, packet: Packet) -> None:
+        fr = self.server.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "vpn.encap", node=self.server.vnode.name)
         self.server.sock.sendto(
             OpaquePayload(packet.wire_len + (VPN_OVERHEAD - 28), data=packet, tag="openvpn"),
             self.client_real,
@@ -117,10 +120,15 @@ class OpenVPNServer:
             inner.writable(IPv4Header).src = leased
         self.rx_packets += 1
         # Inject into the data plane (FIB decides where it goes).
+        fr = self.sim.flight
+        tracked = fr.enabled and inner.span is not None
+        if tracked:
+            fr.stage(inner, "vpn.ingress", node=self.vnode.name)
         self.vnode.click_process.exec_after(
             self.vnode.click.per_packet_cost(inner),
             self.vnode.elements_entry,
             inner,
+            span_packet=inner if tracked else None,
         )
 
     def address_of(self, client: "OpenVPNClient") -> IPv4Address:

@@ -291,6 +291,11 @@ class CPUScheduler:
         item = process.queue.popleft()
         if self._latency_hist is not None:
             self._latency_hist.observe(self.sim.now - item.enqueued_at)
+        if item.span_packet is not None:
+            # Close the flight's cpu.wait (run-queue) stage: the work is
+            # now on the CPU. The stage stays open across preemption, so
+            # it covers execution plus any time spent preempted.
+            self.sim.flight.stage(item.span_packet, "cpu.exec", node=self.name)
         cost = item.cost / self.speed
         event = self.sim.at(cost, self._complete)
         self._running = _Running(process, item, self.sim.now, cost, event)
@@ -317,7 +322,7 @@ class CPUScheduler:
         if remaining > 0 or not running.item.cancelled:
             leftover = WorkItem(
                 max(0.0, remaining) * self.speed, running.item.fn, running.item.args,
-                running.item.enqueued_at,
+                running.item.enqueued_at, running.item.span_packet,
             )
             leftover.cancelled = running.item.cancelled
             running.process.queue.appendleft(leftover)

@@ -77,12 +77,20 @@ class _Channel:
                 return False
             self.queue.append(packet)
             self.queued_bytes += packet.wire_len
+            fr = self.sim.flight
+            if fr.enabled and packet.span is not None:
+                fr.stage(packet, "link.queue", node=self.link.name)
             return True
         self._transmit(packet, receiver)
         return True
 
     def _transmit(self, packet: Packet, receiver: "Interface") -> None:
         self.transmitting = True
+        fr = self.sim.flight
+        if fr.enabled and packet.span is not None:
+            # One stage for serialization + propagation: closed by the
+            # receiver's kernel.rx stage at delivery time.
+            fr.stage(packet, "link.transit", node=self.link.name)
         tx_time = packet.wire_len * 8 / self.link.bandwidth
         self.tx_packets += 1
         self.tx_bytes += packet.wire_len
@@ -112,11 +120,14 @@ class _Channel:
         (``link_drop``/``link_failed``) so the two stay in agreement.
         """
         trace = self.sim.trace
+        fr = self.sim.flight
         name = self.link.name
         for packet in self.queue:
             self.drops += 1
             self.dropped_bytes += packet.wire_len
             trace.log("link_drop", link=name, reason="link_failed", uid=packet.uid)
+            if fr.enabled:
+                fr.flight_drop(packet, "link_failed", node=name)
         self.queue.clear()
         self.queued_bytes = 0
         for uid, event in self.in_flight.items():
@@ -126,6 +137,8 @@ class _Channel:
             self.drops += 1
             if packet is not None:
                 self.dropped_bytes += packet.wire_len
+                if fr.enabled:
+                    fr.flight_drop(packet, "link_failed", node=name)
             trace.log("link_drop", link=name, reason="link_failed", uid=uid)
         self.in_flight.clear()
 
@@ -238,6 +251,9 @@ class Link:
     # ------------------------------------------------------------------
     def _trace_drop(self, packet: Packet, reason: str) -> None:
         self.sim.trace.log("link_drop", link=self.name, reason=reason, uid=packet.uid)
+        fr = self.sim.flight
+        if fr.enabled:
+            fr.flight_drop(packet, reason, node=self.name)
 
     def stats(self, sender: Optional["Interface"] = None) -> dict:
         channels = (

@@ -201,15 +201,22 @@ class TapDevice:
             self.drops += 1
             return False
         size = packet.wire_len
+        fr = self.node.sim.flight
+        tracked = fr.enabled and packet.span is not None
         if self.pending_bytes + size > self.sndbuf:
             self.drops += 1
             self.node.sim.trace.log(
                 "tap_drop", node=self.node.name, slice=self.sliver.slice.name
             )
+            if tracked:
+                fr.flight_drop(packet, "tap_overflow", node=self.node.name)
             return False
         self.pending_bytes += size
+        if tracked:
+            fr.stage(packet, "cpu.wait", node=self.node.name)
         self.reader_process.exec_after(
-            self.read_cost(packet), self._deliver, packet, size
+            self.read_cost(packet), self._deliver, packet, size,
+            span_packet=packet if tracked else None,
         )
         return True
 
@@ -480,7 +487,13 @@ class PhysicalNode:
         if not self.alive:
             return
         cost = self.kernel_cost_fixed + self.kernel_cost_per_byte * packet.wire_len
-        self.kernel.exec_after(cost, self._ip_input, packet, iface)
+        fr = self.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "kernel.rx", node=self.name)
+            self.kernel.exec_after(cost, self._ip_input, packet, iface,
+                                   span_packet=packet)
+        else:
+            self.kernel.exec_after(cost, self._ip_input, packet, iface)
 
     def _ip_input(self, packet: Packet, iface: Optional[Interface]) -> None:
         header = packet.ip
@@ -498,6 +511,9 @@ class PhysicalNode:
             self._forward(packet, iface)
             return
         self.sim.trace.log("kernel_drop", node=self.name, reason="not_local")
+        fr = self.sim.flight
+        if fr.enabled:
+            fr.flight_drop(packet, "not_local", node=self.name)
 
     def _forward(self, packet: Packet, in_iface: Optional[Interface]) -> None:
         header = packet.ip
@@ -590,6 +606,17 @@ class PhysicalNode:
                 payload=packet.payload.copy(),
                 created_at=self.sim.now,
             )
+            # The reply continues the request's flight: carry the span
+            # context across so the trace covers the full round trip.
+            fr = self.sim.flight
+            if fr.enabled and packet.span is not None:
+                reply.span = packet.span
+                fr.stage(reply, "host.echo", node=self.name)
+                self.kernel.exec_after(
+                    self.kernel_cost_fixed, self.ip_output, reply, sliver,
+                    span_packet=reply,
+                )
+                return
             # Echo processing is cheap kernel work.
             self.kernel.exec_after(
                 self.kernel_cost_fixed, self.ip_output, reply, sliver
@@ -657,6 +684,9 @@ class PhysicalNode:
             self.sim.trace.log(
                 "kernel_drop", node=self.name, reason="no_route", dst=str(dst)
             )
+            fr = self.sim.flight
+            if fr.enabled:
+                fr.flight_drop(packet, "no_route", node=self.name)
             return False
         route: Route = found[1]
         if packet.ip.src == 0 and route.interface.address is not None:

@@ -20,16 +20,29 @@ class WorkItem:
     ``enqueued_at`` is the sim time the work first became runnable;
     the scheduler measures queueing (scheduling latency) against it.
     A preempted item's leftover keeps the original arrival time.
+
+    ``span_packet`` (usually None) is the flight-recorder-tracked packet
+    this work item carries; the scheduler opens its ``cpu.exec`` stage
+    at dispatch so run-queue wait and execution are attributed
+    separately. A preempted item's leftover keeps the packet.
     """
 
-    __slots__ = ("cost", "fn", "args", "cancelled", "enqueued_at")
+    __slots__ = ("cost", "fn", "args", "cancelled", "enqueued_at", "span_packet")
 
-    def __init__(self, cost: float, fn: Callable, args: tuple, enqueued_at: float = 0.0):
+    def __init__(
+        self,
+        cost: float,
+        fn: Callable,
+        args: tuple,
+        enqueued_at: float = 0.0,
+        span_packet: Optional[Any] = None,
+    ):
         self.cost = cost
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.enqueued_at = enqueued_at
+        self.span_packet = span_packet
 
 
 class Process:
@@ -88,15 +101,23 @@ class Process:
         node.cpu.register(self)
 
     # ------------------------------------------------------------------
-    def exec_after(self, cost: float, fn: Callable, *args: Any) -> WorkItem:
+    def exec_after(
+        self,
+        cost: float,
+        fn: Callable,
+        *args: Any,
+        span_packet: Optional[Any] = None,
+    ) -> WorkItem:
         """Queue ``cost`` seconds of CPU work, then call ``fn(*args)``.
 
         Returns the :class:`WorkItem` so callers can cancel it (e.g. a
-        socket dropping queued datagrams on close).
+        socket dropping queued datagrams on close). ``span_packet``
+        must be set *here* (not on the returned item) because
+        ``cpu.wake`` may dispatch the item synchronously.
         """
         if cost < 0:
             raise ValueError(f"negative CPU cost {cost!r}")
-        item = WorkItem(cost, fn, args, self.node.cpu.sim.now)
+        item = WorkItem(cost, fn, args, self.node.cpu.sim.now, span_packet)
         self.queue.append(item)
         self.node.cpu.wake(self)
         return item

@@ -98,6 +98,13 @@ class UDPSocket:
         # egress schedulers, Section 4.1.1).
         if self.owner.sliver is not None:
             packet.meta["slice"] = self.owner.sliver.slice.name
+        if self.node.sim.flight.enabled:
+            # A tunnel datagram carries the inner packet by reference
+            # (OpaquePayload.data); share its span context so the
+            # kernel/link stages of the outer hop stay on the flight.
+            inner = payload.data
+            if isinstance(inner, Packet) and inner.span is not None:
+                packet.span = inner.span
         self.tx_packets += 1
         self.node.ip_output(packet, sliver=self.sliver)
         return packet
@@ -110,6 +117,8 @@ class UDPSocket:
         if self.closed:
             return False
         size = packet.wire_len
+        fr = self.node.sim.flight
+        tracked = fr.enabled and packet.span is not None
         if self.pending_bytes + size > self.rcvbuf:
             self.drops += 1
             self.node.sim.trace.log(
@@ -118,9 +127,14 @@ class UDPSocket:
                 port=self.local_port,
                 pending=self.pending_bytes,
             )
+            if tracked:
+                fr.flight_drop(packet, "sock_overflow", node=self.node.name)
             return False
         self.pending_bytes += size
-        self.owner.exec_after(self.recv_cost(packet), self._deliver, packet, size)
+        if tracked:
+            fr.stage(packet, "cpu.wait", node=self.node.name)
+        self.owner.exec_after(self.recv_cost(packet), self._deliver, packet, size,
+                              span_packet=packet if tracked else None)
         return True
 
     def _deliver(self, packet: Packet, size: int) -> None:
@@ -175,7 +189,13 @@ class RawIntercept:
     def enqueue(self, packet: Packet) -> bool:
         if self.closed:
             return False
-        self.owner.exec_after(self.recv_cost(packet), self._deliver, packet)
+        fr = self.node.sim.flight
+        if fr.enabled and packet.span is not None:
+            fr.stage(packet, "cpu.wait", node=self.node.name)
+            self.owner.exec_after(self.recv_cost(packet), self._deliver, packet,
+                                  span_packet=packet)
+        else:
+            self.owner.exec_after(self.recv_cost(packet), self._deliver, packet)
         return True
 
     def _deliver(self, packet: Packet) -> None:

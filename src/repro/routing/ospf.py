@@ -223,6 +223,11 @@ class OSPFDaemon:
         self._installed: Set[Tuple[int, int]] = set()
         self.spf_runs = 0
         self.started = False
+        # Flight-recorder convergence tree (Fig 8): the open root span
+        # of the current convergence episode, and the open SPF hold-down
+        # wait span. Both None while the recorder is off or quiescent.
+        self._conv_root = None
+        self._spf_span = None
         metrics = self.sim.metrics
         rid = _rid(self.router_id)
         # One counter per message class, resolved once: _send/_receive
@@ -469,6 +474,14 @@ class OSPFDaemon:
         if neighbor.state == EXCHANGE and not neighbor.pending_requests:
             self._become_full(neighbor)
         if changed:
+            fr = self.sim.flight
+            if fr.enabled:
+                fr.instant(
+                    "ospf.lsa_receive",
+                    node=_rid(self.router_id),
+                    parent=self._convergence_root(fr),
+                    origin=_rid(update.router_id),
+                )
             self._schedule_spf()
 
     def _on_lsack(self, iface: RouterInterface, src: IPv4Address, ack: LSAck) -> None:
@@ -494,6 +507,15 @@ class OSPFDaemon:
             state=DOWN,
             reason=reason,
         )
+        fr = self.sim.flight
+        if fr.enabled:
+            fr.instant(
+                "ospf.neighbor_down",
+                node=_rid(self.router_id),
+                parent=self._convergence_root(fr),
+                neighbor=_rid(neighbor.router_id),
+                reason=reason,
+            )
         self._originate()
         self._schedule_spf()
 
@@ -528,10 +550,37 @@ class OSPFDaemon:
     # ------------------------------------------------------------------
     # SPF
     # ------------------------------------------------------------------
+    def _convergence_root(self, fr) -> "Span":  # noqa: F821
+        """The open root span of the current convergence episode.
+
+        A convergence episode starts at the first trigger (neighbor
+        loss or a changed LSA) and ends when an SPF run changes the
+        installed routes; everything in between parents under one root
+        so Perfetto shows the Fig-8 chain as a single tree.
+        """
+        root = self._conv_root
+        if root is None or root.end is not None:
+            root = fr.span_begin(
+                "ospf.convergence", node=_rid(self.router_id)
+            )
+            self._conv_root = root
+        return root
+
     def _schedule_spf(self) -> None:
         if self._spf_pending:
             return
         self._spf_pending = True
+        fr = self.sim.flight
+        if fr.enabled:
+            # The hold-down wait between trigger and recompute — the
+            # dominant term in the paper's convergence budget.
+            fr.span_end(self._spf_span)
+            self._spf_span = fr.span_begin(
+                "ospf.spf_wait",
+                node=_rid(self.router_id),
+                parent=self._convergence_root(fr),
+                delay=self.spf_delay,
+            )
         self.sim.at(self.spf_delay, self._run_spf)
 
     def _run_spf(self) -> None:
@@ -578,6 +627,27 @@ class OSPFDaemon:
         self._spf_time_gauge.set(self.sim.now)
         if routes_changed:
             self._route_change_gauge.set(self.sim.now)
+        fr = self.sim.flight
+        if fr.enabled:
+            rid = _rid(self.router_id)
+            if self._spf_span is not None:
+                fr.span_end(self._spf_span)
+                self._spf_span = None
+            root = self._convergence_root(fr)
+            fr.instant(
+                "ospf.spf_recompute", node=rid, parent=root,
+                routes=len(new_installed),
+            )
+            if routes_changed:
+                fib_span = fr.instant(
+                    "ospf.fib_update", node=rid, parent=root,
+                    installed=len(new_installed),
+                )
+                # Link the next data packet this node forwards to the
+                # update that rerouted it (Fig 8's last stage).
+                fr.mark_reroute(self.platform.name, fib_span)
+                fr.span_end(root)
+                self._conv_root = None
         self.sim.trace.log(
             "ospf_spf", router=_rid(self.router_id), routes=len(new_installed)
         )

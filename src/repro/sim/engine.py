@@ -32,6 +32,7 @@ from operator import attrgetter
 from typing import Any, Callable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_RECORDER
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceCollector
 
@@ -163,6 +164,10 @@ class Simulator:
         self.random = RandomStreams(seed)
         self.trace = TraceCollector(self)
         self.metrics = MetricsRegistry(self)
+        # Causal flight recorder (repro.obs.spans). Defaults to the
+        # shared null object; FlightRecorder(sim).install() swaps in a
+        # live one. Instrumented sites guard on ``sim.flight.enabled``.
+        self.flight = NULL_RECORDER
         # Installed Profiler, or None. Hot loops hoist this into a
         # local, so (un)installing takes effect at the next run()/step().
         self._profiler = None

@@ -145,6 +145,12 @@ class Ping:
             payload=OpaquePayload(self.payload, data=now, tag="ping"),
             created_at=now,
         )
+        fr = self.sim.flight
+        if fr.enabled:
+            fr.flight_begin(
+                packet, "ping", node=self.node.name, stage="host.send",
+                dst=str(self.dst), ident=self.ident, seq=seq,
+            )
         self.node.ip_output(packet, sliver=self.sliver)
 
     def _on_reply(self, packet: Packet) -> None:
@@ -157,6 +163,9 @@ class Ping:
             return
         self.received += 1
         self.samples.append((sent_at, seq, rtt))
+        fr = self.sim.flight
+        if fr.enabled:
+            fr.flight_end(packet, node=self.node.name)
         self.rtt_hist.observe(rtt)
         self.sim.trace.log(
             "ping", src=self.node.name, dst=str(self.dst), seq=seq, rtt=rtt

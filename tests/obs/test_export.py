@@ -131,3 +131,34 @@ def test_bench_trajectory_stamps_commit_and_time(tmp_path):
     row = trajectory.append({"x": 1})
     assert "commit" in row and "timestamp" in row
     assert row["timestamp"].endswith("Z")
+
+
+def test_histogram_buckets_in_jsonl_and_csv():
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("rtt", bounds=(0.01, 0.05, 0.1))
+    for v in (0.005, 0.02, 0.02, 0.2):
+        h.observe(v)
+    # Cumulative (Prometheus "le") semantics, +Inf carries the total.
+    assert h.cumulative_buckets() == [
+        [0.01, 1], [0.05, 3], [0.1, 3], ["+Inf", 4]]
+    (row,) = [json.loads(line) for line in
+              registry_jsonl(reg).strip().split("\n")]
+    assert row["buckets"] == [[0.01, 1], [0.05, 3], [0.1, 3], ["+Inf", 4]]
+    text = registry_csv(reg)
+    header, data = text.strip().split("\n")
+    assert header.endswith(",buckets")
+    assert data.endswith(",0.01:1;0.05:3;0.1:3;+Inf:4")
+
+
+def test_bucket_csv_elides_leading_zero_buckets():
+    reg = MetricsRegistry(enabled=True)
+    reg.histogram("empty", bounds=(0.01, 0.1))
+    text = registry_csv(reg)
+    data = text.strip().split("\n")[1]
+    # All-zero buckets collapse to just the +Inf total...
+    assert data.endswith(",+Inf:0")
+    # ...while counters/gauges leave the column blank entirely.
+    reg.counter("c").inc()
+    counter_row = [line for line in registry_csv(reg).strip().split("\n")
+                   if line.startswith("c,")][0]
+    assert counter_row.endswith(",")

@@ -1,5 +1,7 @@
 """Unit tests for repro.obs.profiler: attribution and zero-cost-off."""
 
+import pytest
+
 from repro.obs import Profiler
 from repro.sim import Simulator
 from repro.sim.timer import PeriodicTimer
@@ -128,3 +130,40 @@ def test_profiler_step_dispatch():
     sim.at(1.0, lambda: None)
     assert sim.step() is True
     assert prof.event_count == 1
+
+
+def test_profiler_sim_timebase_charges_virtual_gaps():
+    """In sim mode each event is billed the sim-time gap since the
+    previous dispatch: the world's waiting is attributed, not CPU."""
+    sim = Simulator()
+
+    class Fast:
+        def tick(self):
+            pass
+
+    class Slow:
+        def tick(self):
+            pass
+
+    Fast.__module__ = "repro.net.udp"
+    Slow.__module__ = "repro.routing.ospf"
+    fast, slow = Fast(), Slow()
+    sim.at(1.0, fast.tick)   # first dispatch: no predecessor, 0 s
+    sim.at(3.0, slow.tick)   # 2 s of virtual waiting billed to OSPF
+    sim.at(3.5, fast.tick)   # 0.5 s billed to the Fast component
+    prof = Profiler(sim, timebase="sim")
+    with prof:
+        sim.run()
+    assert prof._stats["net.Fast"] == [2, 0.5]
+    assert prof._stats["routing.ospf"] == [1, 2.0]
+    # Loop span is measured on the same (sim) clock.
+    assert prof.loop_seconds == pytest.approx(3.5)
+    prof.reset()
+    assert prof._last_sim is None
+
+
+def test_profiler_timebase_validation_and_default():
+    sim = Simulator()
+    assert Profiler(sim).timebase == "wall"
+    with pytest.raises(ValueError):
+        Profiler(sim, timebase="cpu")

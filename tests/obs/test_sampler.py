@@ -124,3 +124,41 @@ def test_sampler_does_not_perturb_event_order():
         return [(r.time, r.kind, sorted(r.fields.items())) for r in sim.trace.records]
 
     assert run(True) == run(False)
+
+
+def test_sampler_tail_retention_caps_series():
+    sim, counter = _sim_with_counter()
+    sampler = PeriodicSampler(
+        sim, 1.0, max_points=5, retention="tail"
+    ).watch("ticks", metric=counter).start()
+    sim.run(until=20.0)
+    series = sampler.series("ticks")
+    assert len(series) == 5
+    # A sliding window: the newest snapshots survive.
+    assert [t for t, _v in series] == [16.0, 17.0, 18.0, 19.0, 20.0]
+
+
+def test_sampler_decimate_retention_keeps_coarse_history():
+    sim, counter = _sim_with_counter()
+    sampler = PeriodicSampler(
+        sim, 1.0, max_points=10, retention="decimate", decimate=5
+    ).watch("ticks", metric=counter).start()
+    sim.run(until=40.0)
+    series = sampler.series("ticks")
+    times = [t for t, _v in series]
+    # Bounded well under the un-trimmed 41 points...
+    assert len(series) <= 12
+    # ...but still anchored at the start and dense at the end.
+    assert times[0] == 0.0
+    assert times[-3:] == [38.0, 39.0, 40.0]
+    assert times == sorted(times)
+
+
+def test_sampler_retention_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, 1.0, retention="ring")
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, 1.0, max_points=0)
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, 1.0, decimate=1)
