@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test tier2-bench-smoke bench profile flight
+.PHONY: test tier2-bench-smoke bench profile flight report
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -27,3 +27,8 @@ profile:
 flight:
 	$(PYTHON) -m repro.obs.flight --config plvini --slowest 10 \
 		--export benchmarks/results/flight_table5.json
+
+# Experiment report: the Fig-8 Abilene failover with every collector
+# installed, compiled to deterministic Markdown + JSON.
+report:
+	$(PYTHON) -m repro.obs.report --out benchmarks/results/fig8_report

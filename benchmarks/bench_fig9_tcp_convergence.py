@@ -8,8 +8,10 @@ retransmission and exponential window growth — and a second smaller
 disruption when OSPF falls back to the original path around t=38 s.
 """
 
-from benchmarks.common import format_table, save_report
+from benchmarks.common import format_table, save_report, write_experiment_report
 from repro.faults import FaultPlan
+from repro.obs import ConvergenceTracker, RoutingObserver
+from repro.obs.routing import episodes_from_trace
 from repro.tools import IperfTCPClient, IperfTCPServer, Tcpdump
 from repro.tools.tcpdump import tcp_filter
 from repro.topologies import build_abilene_iias
@@ -28,6 +30,9 @@ FIG9_PLAN = FaultPlan("fig9").fail_link(
 
 def run_fig9(seed: int = 9):
     vini, exp = build_abilene_iias(seed=seed)
+    observer = RoutingObserver(vini.sim).install()
+    tracker = ConvergenceTracker(exp).install()
+    tracker.watch_path("washington", "seattle")
     exp.run(until=WARMUP)
     washington = exp.network.nodes["washington"]
     seattle = exp.network.nodes["seattle"]
@@ -65,13 +70,31 @@ def run_fig9(seed: int = 9):
     assert timeouts == conn.timeouts, (timeouts, conn.timeouts)
     assert retransmits == conn.retransmits, (retransmits, conn.retransmits)
     assert total == server.bytes_received
-    return arrivals, timeouts, retransmits, total
+    return {
+        "arrivals": arrivals,
+        "timeouts": timeouts,
+        "retransmits": retransmits,
+        "total": total,
+        "vini": vini,
+        "observer": observer,
+        "tracker": tracker,
+    }
 
 
 def bench_fig9_tcp_convergence(benchmark):
-    arrivals, timeouts, retransmits, total = benchmark.pedantic(
-        run_fig9, rounds=1, iterations=1
-    )
+    run = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    arrivals = run["arrivals"]
+    timeouts, retransmits = run["timeouts"], run["retransmits"]
+    total = run["total"]
+    tracker = run["tracker"]
+    # Live tracker == batch trace rescan (the legacy derivation).
+    offline = episodes_from_trace(run["vini"].sim.trace)
+    assert [e.as_dict() for e in tracker.episodes] == [
+        e.as_dict() for e in offline
+    ]
+    fail_ep, recover_ep = tracker.episodes
+    assert fail_ep.trigger == "fig9:fail_link fail denver=kansascity"
+    assert recover_ep.trigger == "fig9:recover_link recover denver=kansascity"
     # Figure 9(a): cumulative megabytes transferred over time.
     cumulative = []
     acc = 0
@@ -93,8 +116,19 @@ def bench_fig9_tcp_convergence(benchmark):
         sum(1 for t, _s, _l in arrivals if resume_at + k <= t < resume_at + k + 1)
         for k in range(3)
     ]
+    # Control-plane side of the stall, from the tracker: the blackhole
+    # window on the transfer's path (experiment time).
+    detection = fail_ep.detection_s
+    blackholes = [
+        w for w in tracker.blackhole_windows("washington", "seattle")
+        if w["start"] >= WARMUP
+    ]
+    assert blackholes, tracker.path_windows("washington", "seattle")
+    blackhole = blackholes[0]
+    route_back = blackhole["end"] - WARMUP
     rows = [
         ["stall starts", "t=10 s", f"t={stall_start:.1f} s"],
+        ["route restored (tracker)", "t=18 s", f"t={route_back:.1f} s"],
         ["transfer resumes", "t=18 s", f"t={resume_at:.1f} s"],
         ["pre-failure rate (window-limited)", "~3 Mb/s*", f"{pre_rate:.2f} Mb/s"],
         ["TCP timeouts during outage", ">=1", str(timeouts)],
@@ -121,8 +155,21 @@ def bench_fig9_tcp_convergence(benchmark):
             lines.append(f"  {t:8.4f}  {seq}")
     print("\n" + report)
     save_report("fig9_tcp_convergence", "\n".join(lines))
+    write_experiment_report(
+        "fig9_experiment",
+        run["vini"].sim,
+        meta={
+            "config": "abilene-iias",
+            "seed": 9,
+            "warmup_s": WARMUP,
+            "transfer": f"washington->seattle TCP, rwnd {WINDOW} B",
+        },
+        observer=run["observer"],
+        tracker=tracker,
+    )
     benchmark.extra_info.update(
-        stall_start=stall_start, resume_at=resume_at, pre_rate_mbps=pre_rate
+        stall_start=stall_start, resume_at=resume_at, pre_rate_mbps=pre_rate,
+        detection_s=detection, route_back_s=route_back,
     )
     # Shape assertions.
     assert 9.0 < stall_start < 11.5  # stall begins at the failure
@@ -134,3 +181,10 @@ def bench_fig9_tcp_convergence(benchmark):
     # rate over the seconds after resumption.
     assert ramp[0] >= 1
     assert ramp[1] > ramp[0]
+    # Tracker-vs-legacy consistency: the blackhole window opens at the
+    # instant the vlink fails, OSPF detection is hello-based, and TCP
+    # can only resume once the route is back — the tracker's restore
+    # time falls inside the tcpdump delivery gap.
+    assert abs(blackhole["start"] - (WARMUP + FAIL_AT)) < 1e-9
+    assert 4.0 < detection <= route_back - FAIL_AT
+    assert stall_start <= route_back <= resume_at + 1e-9

@@ -42,6 +42,19 @@ def save_report(name: str, text: str) -> str:
     return path
 
 
+def write_experiment_report(name: str, sim, **collectors) -> Tuple[str, str]:
+    """Compile a :mod:`repro.obs.report` artifact for a bench run and
+    persist it under ``benchmarks/results/`` as ``<name>.md`` +
+    ``<name>.json``. ``collectors`` are passed straight through to
+    :func:`repro.obs.report.build_report` (``meta=``, ``samplers=``,
+    ``recorder=``, ``observer=``, ``tracker=``)."""
+    from repro.obs.report import build_report
+
+    report = build_report(sim, name=name, **collectors)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return report.write(os.path.join(RESULTS_DIR, name))
+
+
 def format_table(title: str, headers: List[str], rows: List[List[str]]) -> str:
     widths = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))

@@ -10,16 +10,26 @@ __version__ = "1.0.0"
 
 from repro.core import VINI, Experiment, VirtualNetwork
 from repro.faults import FaultPlan, InvariantChecker
-from repro.obs import MetricsRegistry, PeriodicSampler, Profiler
+from repro.obs import (
+    ConvergenceTracker,
+    ExperimentReport,
+    MetricsRegistry,
+    PeriodicSampler,
+    Profiler,
+    RoutingObserver,
+)
 
 __all__ = [
     "VINI",
+    "ConvergenceTracker",
     "Experiment",
-    "VirtualNetwork",
+    "ExperimentReport",
     "FaultPlan",
     "InvariantChecker",
     "MetricsRegistry",
     "PeriodicSampler",
     "Profiler",
+    "RoutingObserver",
+    "VirtualNetwork",
     "__version__",
 ]

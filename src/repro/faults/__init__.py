@@ -22,7 +22,7 @@ control loop for the reproduction:
 """
 
 from repro.faults.plan import FaultAction, FaultPlan, UnsupportedFault
-from repro.faults.invariants import InvariantChecker, Violation
+from repro.faults.invariants import InvariantChecker, Violation, walk_overlay_path
 
 __all__ = [
     "FaultAction",
@@ -30,4 +30,5 @@ __all__ = [
     "InvariantChecker",
     "UnsupportedFault",
     "Violation",
+    "walk_overlay_path",
 ]

@@ -250,31 +250,15 @@ class InvariantChecker:
     def _check_overlay_loops(self) -> None:
         nodes = self.network.nodes
         for dst in nodes.values():
-            dst_addr = dst.tap_addr
             for src in nodes.values():
                 if src is dst:
                     continue
-                seen = set()
-                current = src
-                while True:
-                    if current.name in seen:
-                        self._report(
-                            "forwarding_loop", layer="overlay",
-                            src=src.name, dst=dst.name, at=current.name,
-                        )
-                        break
-                    seen.add(current.name)
-                    if current is dst:
-                        break
-                    route = current.xorp.rib.lookup(dst_addr)
-                    if route is None or route.ifname in ("local", "egress"):
-                        break
-                    vlink = current.vlinks.get(route.ifname)
-                    if vlink is None or vlink.failed:
-                        break
-                    current = vlink.b if current is vlink.a else vlink.a
-                    if getattr(current, "crashed", False):
-                        break
+                status, path = walk_overlay_path(self.network, src, dst)
+                if status == "loop":
+                    self._report(
+                        "forwarding_loop", layer="overlay",
+                        src=src.name, dst=dst.name, at=path[-1],
+                    )
 
     def _check_physical_loops(self) -> None:
         nodes = self.vini.nodes
@@ -403,6 +387,40 @@ class InvariantChecker:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<InvariantChecker violations={len(self.violations)}>"
+
+
+def walk_overlay_path(network, src, dst) -> Tuple[str, List[str]]:
+    """Follow overlay RIB next hops from vnode ``src`` toward ``dst``.
+
+    Returns ``(status, path)``: status is ``"delivered"`` (the walk
+    reached ``dst``), ``"loop"`` (a node was revisited — it is the last
+    path element), or ``"blackhole"`` (no route, a failed vlink, or a
+    crashed node stopped the walk short). ``path`` is the sequence of
+    node names visited, ending where the walk stopped. Shared by the
+    invariant checker's structural sweep and the convergence tracker's
+    blackhole/micro-loop windows.
+    """
+    dst_addr = dst.tap_addr
+    seen = set()
+    path: List[str] = []
+    current = src
+    while True:
+        path.append(current.name)
+        if current.name in seen:
+            return "loop", path
+        seen.add(current.name)
+        if current is dst:
+            return "delivered", path
+        route = current.xorp.rib.lookup(dst_addr)
+        if route is None or route.ifname in ("local", "egress"):
+            return "blackhole", path
+        vlink = current.vlinks.get(route.ifname)
+        if vlink is None or vlink.failed:
+            return "blackhole", path
+        current = vlink.b if current is vlink.a else vlink.a
+        if getattr(current, "crashed", False):
+            path.append(current.name)
+            return "blackhole", path
 
 
 def _split_target(target):

@@ -20,7 +20,16 @@ first-class layer instead of ad-hoc trace scans:
   Perfetto/Chrome-trace flight exporter, and the per-commit
   :class:`BenchTrajectory` artifact writer.
 * :mod:`repro.obs.flight` — the ``python -m repro.obs.flight`` CLI:
-  slowest-N latency decomposition of a Table-4/5 ping run.
+  slowest-N latency decomposition of a Table-4/5 ping run, plus
+  ``--diff`` comparing two runs' stage decompositions.
+* :mod:`repro.obs.routing` — :class:`RoutingObserver` control-plane
+  timelines and the :class:`ConvergenceTracker` stitching fault
+  injection -> first reroute -> route-stable with blackhole/micro-loop
+  windows.
+* :mod:`repro.obs.report` — :class:`ExperimentReport`, the
+  deterministic Markdown + JSON compiler over one run's metrics,
+  samplers, spans, and routing timelines (``python -m
+  repro.obs.report`` for the Fig-8 artifact).
 
 Nothing in this package imports :mod:`repro.sim` at module level: the
 engine imports the registry and the null flight recorder, so the
@@ -50,6 +59,13 @@ from repro.obs.metrics import (
     log_buckets,
 )
 from repro.obs.profiler import Profiler
+from repro.obs.report import ExperimentReport, build_report
+from repro.obs.routing import (
+    ConvergenceEpisode,
+    ConvergenceTracker,
+    RoutingObserver,
+    episodes_from_trace,
+)
 from repro.obs.sampler import PeriodicSampler
 from repro.obs.spans import (
     Flight,
@@ -62,8 +78,11 @@ from repro.obs.spans import (
 
 __all__ = [
     "BenchTrajectory",
+    "ConvergenceEpisode",
+    "ConvergenceTracker",
     "Counter",
     "DEFAULT_BUCKETS",
+    "ExperimentReport",
     "Flight",
     "FlightRecorder",
     "Gauge",
@@ -74,9 +93,12 @@ __all__ = [
     "NullFlightRecorder",
     "PeriodicSampler",
     "Profiler",
+    "RoutingObserver",
     "Span",
     "SpanContext",
+    "build_report",
     "detect_commit",
+    "episodes_from_trace",
     "export_csv",
     "export_jsonl",
     "export_perfetto",

@@ -135,6 +135,71 @@ def format_flight(flight: Flight, index: int) -> str:
     return "\n".join(lines)
 
 
+def parse_run_spec(spec: str, default_config: str,
+                   default_seed: int) -> Tuple[str, int]:
+    """``config:seed`` | ``config`` | ``seed`` -> (config, seed)."""
+    if ":" in spec:
+        config, _, seed = spec.partition(":")
+        return config, int(seed)
+    try:
+        return default_config, int(spec)
+    except ValueError:
+        return spec, default_seed
+
+
+def stage_profile(recorder: FlightRecorder,
+                  n: int) -> Tuple[dict, float, int]:
+    """Mean per-stage seconds over the slowest ``n`` flights, plus the
+    mean RTT and how many flights the means cover."""
+    flights = recorder.slowest(n)
+    count = len(flights)
+    totals: dict = {}
+    for flight in flights:
+        for name, duration in flight.stage_totals().items():
+            totals[name] = totals.get(name, 0.0) + duration
+    if count:
+        means = {name: total / count for name, total in totals.items()}
+        mean_rtt = sum(f.duration for f in flights) / count
+    else:
+        means, mean_rtt = {}, 0.0
+    return means, mean_rtt, count
+
+
+def run_diff(args) -> int:
+    """``--diff A B``: compare slowest-flight stage decompositions of
+    two runs (two seeds, two configs, or both)."""
+    spec_a = parse_run_spec(args.diff[0], args.config, args.seed)
+    spec_b = parse_run_spec(args.diff[1], args.config, args.seed)
+    profiles = []
+    for config, seed in (spec_a, spec_b):
+        recorder, _ping = run_flights(
+            config=config, count=args.count, interval=args.interval,
+            seed=seed, warmup=args.warmup, loaded=not args.unloaded,
+        )
+        profiles.append(stage_profile(recorder, args.slowest))
+    (means_a, rtt_a, count_a), (means_b, rtt_b, count_b) = profiles
+    label_a = "%s:%d" % spec_a
+    label_b = "%s:%d" % spec_b
+    print("stage diff: A=%s vs B=%s (mean over slowest %d/%d flights)" % (
+        label_a, label_b, count_a, count_b))
+    print("%-14s %12s %12s %12s %8s" % (
+        "stage", "A us", "B us", "delta us", "delta%"))
+    stages = sorted(set(means_a) | set(means_b),
+                    key=lambda s: -max(means_a.get(s, 0.0),
+                                       means_b.get(s, 0.0)))
+    for stage in stages:
+        a = means_a.get(stage, 0.0)
+        b = means_b.get(stage, 0.0)
+        share = (100.0 * (b - a) / a) if a else float("inf") if b else 0.0
+        print("%-14s %12.1f %12.1f %+12.1f %+7.1f%%" % (
+            stage, a * 1e6, b * 1e6, (b - a) * 1e6, share))
+    delta = rtt_b - rtt_a
+    share = (100.0 * delta / rtt_a) if rtt_a else 0.0
+    print("%-14s %12.1f %12.1f %+12.1f %+7.1f%%" % (
+        "mean rtt", rtt_a * 1e6, rtt_b * 1e6, delta * 1e6, share))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.flight",
@@ -158,7 +223,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the contending-slice background load")
     parser.add_argument("--export", metavar="PATH", default=None,
                         help="write Perfetto/Chrome-trace JSON to PATH")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare mean slowest-flight stage "
+                             "decompositions of two runs; each spec is "
+                             "'config:seed', a bare config, or a bare "
+                             "seed (defaults fill the rest)")
     args = parser.parse_args(argv)
+
+    if args.diff:
+        return run_diff(args)
 
     recorder, ping = run_flights(
         config=args.config, count=args.count, interval=args.interval,

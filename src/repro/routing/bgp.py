@@ -182,10 +182,16 @@ class BGPSession:
         transport.on_down = self._transport_down
         self.updates_sent = 0
         self.updates_received = 0
+        self.routes_announced = 0
+        self.routes_withdrawn = 0
         metrics = self.sim.metrics
         labels = dict(daemon=daemon.name, peer=self.name)
         metrics.counter("bgp.updates_sent", fn=lambda: self.updates_sent, **labels)
         metrics.counter("bgp.updates_received", fn=lambda: self.updates_received, **labels)
+        # Route-level churn: NLRI announced/withdrawn inside the batched
+        # updates (one Update message can carry many of each).
+        metrics.counter("bgp.routes_announced", fn=lambda: self.routes_announced, **labels)
+        metrics.counter("bgp.routes_withdrawn", fn=lambda: self.routes_withdrawn, **labels)
         metrics.gauge(
             "bgp.session_up",
             fn=lambda: 1 if self.state == ESTABLISHED else 0,
@@ -329,6 +335,8 @@ class BGPSession:
         self._pending_announce.clear()
         self._pending_withdraw.clear()
         self.updates_sent += 1
+        self.routes_announced += len(announce)
+        self.routes_withdrawn += len(withdraw)
         self.transport.send(Update(announce, withdraw))
         # MRAI: no further update to this peer until the interval ends.
         self._mrai_timer = self.sim.at(self.mrai, self._mrai_expired)
@@ -361,6 +369,9 @@ class BGPDaemon:
         self.sessions: List[BGPSession] = []
         self.originated: Dict[Tuple[int, int], BGPRoute] = {}
         self.loc_rib: Dict[Tuple[int, int], Tuple[BGPRoute, Optional[BGPSession]]] = {}
+        sim.metrics.gauge(
+            "bgp.loc_rib_routes", fn=lambda: float(len(self.loc_rib)), daemon=self.name
+        )
 
     # ------------------------------------------------------------------
     def add_session(self, transport: DirectTransport, peer_asn: int, **kwargs) -> BGPSession:

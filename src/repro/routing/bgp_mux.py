@@ -72,16 +72,19 @@ class _ClientPort:
 
     def import_filter(self, route: BGPRoute) -> Optional[BGPRoute]:
         """Applied to announcements *from* the experiment."""
+        trace = self.mux.sim.trace
         if route.prefix not in self.allowed:
             self.filtered += 1
-            self.mux.sim.trace.log(
-                "bgp_mux_filtered", client=self.name, prefix=str(route.prefix)
-            )
+            if trace.wants("bgp_mux_filtered"):
+                trace.log(
+                    "bgp_mux_filtered", client=self.name, prefix=str(route.prefix)
+                )
             return None
         if not self.limiter.allow():
-            self.mux.sim.trace.log(
-                "bgp_mux_ratelimited", client=self.name, prefix=str(route.prefix)
-            )
+            if trace.wants("bgp_mux_ratelimited"):
+                trace.log(
+                    "bgp_mux_ratelimited", client=self.name, prefix=str(route.prefix)
+                )
             return None
         return route
 
@@ -101,6 +104,9 @@ class BGPMultiplexer:
         self.daemon = BGPDaemon(sim, asn, router_id, rib=None, name="bgp-mux")
         self.clients: Dict[str, _ClientPort] = {}
         self.external_session: Optional[BGPSession] = None
+        sim.metrics.gauge(
+            "bgp.mux_clients", fn=lambda: float(len(self.clients))
+        )
 
     # ------------------------------------------------------------------
     def attach_external(
@@ -146,6 +152,12 @@ class BGPMultiplexer:
                 )
         limiter = _RateLimiter(self.sim, max_update_rate, burst)
         port = _ClientPort(self, name, None, allowed, limiter)  # type: ignore[arg-type]
+        self.sim.metrics.counter(
+            "bgp.mux_filtered", fn=lambda: float(port.filtered), client=name
+        )
+        self.sim.metrics.counter(
+            "bgp.mux_ratelimited", fn=lambda: float(limiter.dropped), client=name
+        )
         session = self.daemon.add_session(
             transport,
             client_asn,

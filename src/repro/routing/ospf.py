@@ -245,6 +245,18 @@ class OSPFDaemon:
             )
             for cls in (Hello, DBDesc, LSRequest, LSUpdate, LSAck)
         }
+        # Adjacency FSM transition counters, one per target state, and
+        # LSA lifecycle counters (origination, per-neighbor flood sends,
+        # installs of changed LSAs learned from neighbors).
+        self._adj_counters = {
+            state: metrics.counter(
+                "ospf.adjacency_transitions", router=rid, state=state.lower()
+            )
+            for state in (DOWN, INIT, EXCHANGE, FULL)
+        }
+        self._lsa_originated = metrics.counter("ospf.lsa_originated", router=rid)
+        self._lsa_flood_tx = metrics.counter("ospf.lsa_flood_tx", router=rid)
+        self._lsa_installed = metrics.counter("ospf.lsa_installed", router=rid)
         metrics.counter("ospf.spf_runs", fn=lambda: self.spf_runs, router=rid)
         metrics.gauge("ospf.lsdb_size", fn=lambda: len(self.lsdb), router=rid)
         metrics.gauge(
@@ -388,6 +400,7 @@ class OSPFDaemon:
             neighbor = Neighbor(self, iface, hello.router_id, src)
             neighbor.state = INIT
             self.neighbors[(iface.name, hello.router_id)] = neighbor
+            self._adj_counters[INIT].inc()
             self.sim.trace.log(
                 "ospf_neighbor",
                 router=_rid(self.router_id),
@@ -402,6 +415,7 @@ class OSPFDaemon:
 
     def _two_way(self, neighbor: Neighbor) -> None:
         neighbor.state = EXCHANGE
+        self._adj_counters[EXCHANGE].inc()
         self.sim.trace.log(
             "ospf_neighbor",
             router=_rid(self.router_id),
@@ -437,6 +451,7 @@ class OSPFDaemon:
         if neighbor.state == FULL:
             return
         neighbor.state = FULL
+        self._adj_counters[FULL].inc()
         self.sim.trace.log(
             "ospf_neighbor",
             router=_rid(self.router_id),
@@ -466,6 +481,7 @@ class OSPFDaemon:
             if ours is not None and ours.seq >= lsa.seq:
                 continue
             self.lsdb[lsa.adv_router] = lsa
+            self._lsa_installed.inc()
             changed = True
             self._flood(lsa, exclude=neighbor)
             neighbor.pending_requests.discard(lsa.adv_router)
@@ -500,6 +516,7 @@ class OSPFDaemon:
         neighbor.state = DOWN
         neighbor.dead_timer.cancel()
         neighbor.rxmt_timer.stop()
+        self._adj_counters[DOWN].inc()
         self.sim.trace.log(
             "ospf_neighbor",
             router=_rid(self.router_id),
@@ -535,6 +552,7 @@ class OSPFDaemon:
         stubs.extend(self.stub_prefixes)
         lsa = RouterLSA(self.router_id, self._seq, links, stubs)
         self.lsdb[self.router_id] = lsa
+        self._lsa_originated.inc()
         self._flood(lsa, exclude=None)
         self._schedule_spf()
 
@@ -543,6 +561,7 @@ class OSPFDaemon:
             if neighbor is exclude or neighbor.state not in (EXCHANGE, FULL):
                 continue
             neighbor.queue_flood(lsa)
+            self._lsa_flood_tx.inc()
             self._send(
                 neighbor.iface, LSUpdate(self.router_id, [lsa]), dst=neighbor.addr
             )

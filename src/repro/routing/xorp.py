@@ -26,7 +26,7 @@ class XORPRouter:
     def __init__(self, platform: RoutingPlatform):
         self.platform = platform
         self.sim = platform.sim
-        self.rib = RIB(platform.fea)
+        self.rib = RIB(platform.fea, sim=platform.sim, name=platform.name)
         self.ospf: Optional[OSPFDaemon] = None
         self.rip: Optional[RIPDaemon] = None
         self.bgp: Optional[BGPDaemon] = None

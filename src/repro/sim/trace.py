@@ -30,7 +30,9 @@ from typing import Any, BinaryIO, Callable, Dict, Iterator, List, Optional, Tupl
 #: ``enable()``. Everything else is enabled on first use, as before.
 #: ``loss_drop`` is the per-packet kind added with the observability
 #: layer — quiet so default-run golden traces are unchanged.
-QUIET_KINDS = frozenset({"fwd", "loss_drop"})
+#: ``rib_change`` is the per-route-churn kind the convergence tracker
+#: enables; quiet for the same reason.
+QUIET_KINDS = frozenset({"fwd", "loss_drop", "rib_change"})
 
 
 class TraceRecord:

@@ -112,6 +112,22 @@ def test_detects_planted_overlay_forwarding_loop():
     assert loops and loops[0].detail["layer"] == "overlay"
 
 
+def test_walk_overlay_path_reports_the_planted_loop():
+    from repro.faults import walk_overlay_path
+
+    vini, exp = build_line(3)
+    n0, n1, n2 = (exp.network.nodes[n] for n in ("n0", "n1", "n2"))
+    n0.xorp.rib.update(
+        RibRoute(Prefix(n2.tap_addr, 32), None, "to_n1", "static", 1)
+    )
+    n1.xorp.rib.update(
+        RibRoute(Prefix(n2.tap_addr, 32), None, "to_n0", "static", 1)
+    )
+    status, path = walk_overlay_path(exp.network, n0, n2)
+    assert status == "loop"
+    assert path[0] == "n0" and path[-1] in ("n0", "n1")
+
+
 def test_blackhole_is_not_a_loop():
     vini = _triangle()
     checker = InvariantChecker(vini).install()

@@ -94,6 +94,12 @@ def test_disabled_registry_leaves_golden_fig8_trace_unchanged():
     assert disabled_count == 0  # ... and a disabled one registered nothing
     assert "fault" in enabled_trace  # the failover actually happened
     assert enabled_trace == disabled_trace
+    # The routing daemons churned the RIB throughout this failover, but
+    # rib_change is a quiet kind: with no observer/tracker installed the
+    # guarded call sites log nothing, so golden traces are identical to
+    # pre-instrumentation runs.
+    assert "rib_change" not in enabled_trace
+    assert "bgp_mux" not in enabled_trace
 
 
 # ----------------------------------------------------------------------
