@@ -1,0 +1,118 @@
+"""Perf-regression guard over the bench trajectory.
+
+Compares the newest ``TRAJECTORY_core.jsonl`` row (the run CI just
+appended) against the previous row and fails when a tracked
+``events_per_sec`` rate dropped by more than the threshold. With fewer
+than two rows (first run, or a fresh clone without the restored
+artifact) there is no baseline, so the guard warns and exits 0 —
+a missing baseline must never block a build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.10 \
+        --metric events_per_sec.wheel --metric far_events_per_sec.wheel
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, List, Optional
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_TRAJECTORY = os.path.join(
+    _ROOT, "benchmarks", "results", "TRAJECTORY_core.jsonl"
+)
+# Dotted paths into a trajectory row. The wheel engine is the config
+# every figure regeneration runs, so its rates are the guarded ones.
+DEFAULT_METRICS = ("events_per_sec.wheel", "far_events_per_sec.wheel")
+
+
+def load_rows(path: str) -> List[dict]:
+    if not os.path.exists(path):
+        return []
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except ValueError:
+                continue  # a corrupt line is not a regression
+    return rows
+
+
+def extract(row: dict, dotted: str) -> Optional[float]:
+    node: Any = row
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check(rows: List[dict], metrics, threshold: float) -> int:
+    if len(rows) < 2:
+        print(
+            f"check_regression: no baseline ({len(rows)} trajectory row(s)); "
+            "skipping — warn only"
+        )
+        return 0
+    baseline, current = rows[-2], rows[-1]
+    print(
+        f"check_regression: comparing commit {current.get('commit')} "
+        f"against {baseline.get('commit')} (threshold {threshold:.0%})"
+    )
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"  note: scales differ (baseline {baseline.get('scale')}, "
+            f"current {current.get('scale')}); rates are still comparable "
+            "but noise is higher"
+        )
+    failed = False
+    for dotted in metrics:
+        base = extract(baseline, dotted)
+        cur = extract(current, dotted)
+        if base is None or base <= 0:
+            print(f"  {dotted}: no baseline value — warn only")
+            continue
+        if cur is None:
+            print(f"  {dotted}: MISSING from the current run")
+            failed = True
+            continue
+        delta = (cur - base) / base
+        verdict = "ok"
+        if delta < -threshold:
+            verdict = "REGRESSION"
+            failed = True
+        print(
+            f"  {dotted}: {base:,.0f} -> {cur:,.0f} "
+            f"({delta:+.1%}) {verdict}"
+        )
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                        help="TRAJECTORY_core.jsonl path")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="maximum tolerated fractional drop (0.15 = 15%%)")
+    parser.add_argument("--metric", action="append", dest="metrics",
+                        help="dotted path into a trajectory row "
+                             "(repeatable; default: events_per_sec.wheel, "
+                             "far_events_per_sec.wheel)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+    metrics = tuple(args.metrics) if args.metrics else DEFAULT_METRICS
+    return check(load_rows(args.trajectory), metrics, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ DEFAULT_ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_core.json")
 # bench name -> (cell function, configs)
 BENCHES = {
     "engine": (core.run_engine_cell, ("wheel", "heap", "legacy")),
+    "engine_far": (core.run_engine_far_cell, ("wheel", "flat", "heap")),
     "packet": (core.run_packet_cell, ("cow", "deep")),
     "lookup": (core.run_lookup_cell, ("radix",)),
 }
@@ -104,6 +105,10 @@ def aggregate(results: List[dict]) -> dict:
         config: _rate(results, "engine", config, "events_per_sec")
         for config in BENCHES["engine"][1]
     }
+    far = {
+        config: _rate(results, "engine_far", config, "events_per_sec")
+        for config in BENCHES["engine_far"][1]
+    }
     fanout = {
         config: _rate(results, "packet", config, "fanout_packets_per_sec")
         for config in BENCHES["packet"][1]
@@ -117,6 +122,10 @@ def aggregate(results: List[dict]) -> dict:
         "engine_speedup": events["wheel"] / events["legacy"]
         if events.get("legacy")
         else 0.0,
+        "far_events_per_sec": far,
+        # Hierarchical wheel vs the single-level wheel on the
+        # far-future workload: the headline for the upper levels.
+        "far_speedup": far["wheel"] / far["flat"] if far.get("flat") else 0.0,
         "fanout_packets_per_sec": fanout,
         "forward_packets_per_sec": forward,
         "packet_speedup": fanout["cow"] / fanout["deep"] if fanout.get("deep") else 0.0,
@@ -174,6 +183,10 @@ def main(argv=None) -> int:
         print(f"  engine [{config:<6}] {rate:>12,.0f} events/sec")
     print(f"  engine speedup (wheel vs legacy seed): "
           f"{summary['engine_speedup']:.2f}x")
+    for config, rate in summary["far_events_per_sec"].items():
+        print(f"  engine_far [{config:<6}] {rate:>12,.0f} events/sec")
+    print(f"  far-timer speedup (hierarchical vs single-level wheel): "
+          f"{summary['far_speedup']:.2f}x")
     for config in BENCHES["packet"][1]:
         print(f"  packet [{config:<6}] fan-out "
               f"{summary['fanout_packets_per_sec'][config]:>12,.0f} pkts/sec, "

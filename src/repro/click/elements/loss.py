@@ -25,6 +25,9 @@ class LossElement(Element):
         self.failed = False
         self.dropped = 0
         self.passed = 0
+        # Bound rng.random, cached on first use so the stream is
+        # created at the same point as before (same draw sequence).
+        self._random = None
 
     def fail(self) -> None:
         """Black-hole everything (a virtual link failure)."""
@@ -64,7 +67,10 @@ class LossElement(Element):
             self._drop(packet, "failed")
             return
         if self.drop_prob > 0.0:
-            if self.router.sim.rng(self.rng_stream).random() < self.drop_prob:
+            random = self._random
+            if random is None:
+                random = self._random = self.router.sim.rng(self.rng_stream).random
+            if random() < self.drop_prob:
                 self._drop(packet, "loss_prob")
                 return
         self.passed += 1

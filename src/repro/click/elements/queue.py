@@ -11,7 +11,7 @@ uses to give virtual links their own capacities.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from repro.click.element import Element
 from repro.net.packet import Packet
@@ -86,6 +86,14 @@ class Shaper(Element):
         self.rate = rate
         self.burst_bytes = burst_bytes
         self.queue_bytes = queue_bytes
+        # Hot-path precomputes. Dividing by 8 is exact in binary
+        # floats, so rate/8.0 here is the same value the inline
+        # expression produced — pacing stays float-identical. The
+        # token requirement depends only on wire length, so it is
+        # memoized per length.
+        self._rate_bytes = rate / 8.0
+        self._burst_f = float(burst_bytes)
+        self._need_cache: Dict[int, float] = {}
         self.tokens = float(burst_bytes)
         self._stamp = 0.0
         self._queue: Deque[Packet] = deque()
@@ -106,8 +114,8 @@ class Shaper(Element):
     def _refill(self) -> None:
         now = self.router.sim.now
         self.tokens = min(
-            float(self.burst_bytes),
-            self.tokens + self.rate / 8.0 * (now - self._stamp),
+            self._burst_f,
+            self.tokens + self._rate_bytes * (now - self._stamp),
         )
         self._stamp = now
 
@@ -118,7 +126,12 @@ class Shaper(Element):
         size in tokens; it departs once the bucket is full and debits
         the bucket below zero (long-run rate stays correct).
         """
-        return min(float(packet.wire_len), float(self.burst_bytes))
+        wire_len = packet.wire_len
+        need = self._need_cache.get(wire_len)
+        if need is None:
+            need = min(float(wire_len), self._burst_f)
+            self._need_cache[wire_len] = need
+        return need
 
     def push(self, port: int, packet: Packet) -> None:
         self.offered += 1
@@ -146,19 +159,24 @@ class Shaper(Element):
             return
         self._refill()
         need = self._need(self._queue[0]) - self.tokens
-        delay = max(need, 0.0) / (self.rate / 8.0)
+        delay = max(need, 0.0) / self._rate_bytes
         self._pending = True
         self.router.sim.at(delay, self._release)
 
     def _release(self) -> None:
         self._pending = False
         self._refill()
-        while self._queue and self.tokens >= self._need(self._queue[0]):
-            packet = self._queue.popleft()
-            self._queued_bytes -= packet.wire_len
-            self.tokens -= packet.wire_len
-            self.sent += 1
-            self.output(0).push(packet)
+        queue = self._queue
+        if queue:
+            need = self._need
+            out = self.output(0)
+            while queue and self.tokens >= need(queue[0]):
+                packet = queue.popleft()
+                wire_len = packet.wire_len
+                self._queued_bytes -= wire_len
+                self.tokens -= wire_len
+                self.sent += 1
+                out.push(packet)
         self._schedule()
 
     @property

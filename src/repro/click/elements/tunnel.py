@@ -39,10 +39,16 @@ class UDPTunnel(Element):
         self.sock = None
         self.tx_packets = 0
         self.rx_packets = 0
+        # Hot-path bindings: sendto is bound once at initialize; the
+        # decap output port is cached on first receive (wiring is done
+        # by then either way).
+        self._sendto = None
+        self._out0 = None
 
     def initialize(self) -> None:
         self.sock = self.router.udp_socket(port=self.local_port, rcvbuf=self.rcvbuf)
         self.sock.on_receive = self._incoming
+        self._sendto = self.sock.sendto
         metrics = self.router.sim.metrics
         labels = dict(node=self.router.node.name, element=self.name)
         metrics.counter("click.tunnel.tx_pkts", fn=lambda: self.tx_packets, **labels)
@@ -54,7 +60,7 @@ class UDPTunnel(Element):
         fr = self.router.sim.flight
         if fr.enabled and packet.span is not None:
             fr.stage(packet, "tunnel.encap", node=self.router.node.name)
-        self.sock.sendto(
+        self._sendto(
             OpaquePayload(packet.wire_len, data=packet, tag="tunnel"),
             self.remote_addr,
             self.remote_port,
@@ -71,7 +77,10 @@ class UDPTunnel(Element):
             # The inner packet traveled by reference inside the outer
             # datagram, so its span context survived encapsulation.
             fr.stage(inner, "tunnel.decap", node=self.router.node.name)
-        self.output(0).push(inner)
+        out = self._out0
+        if out is None:
+            out = self._out0 = self.output(0)
+        out.push(inner)
 
     def close(self) -> None:
         if self.sock is not None:

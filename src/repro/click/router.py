@@ -46,6 +46,11 @@ class ClickRouter:
         self.syscall_cost = syscall_cost
         self.syscalls_per_packet = syscalls_per_packet
         self.copy_cost_per_byte = copy_cost_per_byte
+        # Per-packet cost depends only on wire length; real traffic
+        # uses a handful of sizes, so costs are memoized per length
+        # (the cached value is the exact original expression — float
+        # identity is what keeps traces byte-identical).
+        self._cost_cache: Dict[int, float] = {}
         self.elements: Dict[str, Element] = {}
         self.drops = 0
         self._initialized = False
@@ -55,10 +60,15 @@ class ClickRouter:
     # ------------------------------------------------------------------
     def per_packet_cost(self, packet: Packet) -> float:
         """CPU seconds to move one packet through this Click process."""
-        return (
-            self.syscall_cost * self.syscalls_per_packet
-            + self.copy_cost_per_byte * packet.wire_len
-        )
+        wire_len = packet.wire_len
+        cost = self._cost_cache.get(wire_len)
+        if cost is None:
+            cost = (
+                self.syscall_cost * self.syscalls_per_packet
+                + self.copy_cost_per_byte * wire_len
+            )
+            self._cost_cache[wire_len] = cost
+        return cost
 
     # ------------------------------------------------------------------
     # Graph assembly

@@ -43,6 +43,7 @@ class _Channel:
         "offered_bytes",
         "delivered_bytes",
         "dropped_bytes",
+        "_tx_cache",
     )
 
     def __init__(self, sim: Simulator, link: "Link"):
@@ -60,6 +61,10 @@ class _Channel:
         self.offered_bytes = 0
         self.delivered_bytes = 0
         self.dropped_bytes = 0
+        # Serialization time depends only on wire length; memoize per
+        # length with the exact original expression so cached and
+        # uncached runs stay float-identical.
+        self._tx_cache: Dict[int, float] = {}
 
     def send(self, packet: Packet, receiver: "Interface") -> bool:
         self.offered += 1
@@ -91,9 +96,13 @@ class _Channel:
             # One stage for serialization + propagation: closed by the
             # receiver's kernel.rx stage at delivery time.
             fr.stage(packet, "link.transit", node=self.link.name)
-        tx_time = packet.wire_len * 8 / self.link.bandwidth
+        wire_len = packet.wire_len
+        tx_time = self._tx_cache.get(wire_len)
+        if tx_time is None:
+            tx_time = wire_len * 8 / self.link.bandwidth
+            self._tx_cache[wire_len] = tx_time
         self.tx_packets += 1
-        self.tx_bytes += packet.wire_len
+        self.tx_bytes += wire_len
         self.sim.at(tx_time, self._tx_done, receiver)
         event = self.sim.at(
             tx_time + self.link.delay, self._deliver, packet, receiver

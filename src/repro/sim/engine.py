@@ -6,28 +6,49 @@ randomness draws it from named, seeded streams
 (:class:`repro.sim.rand.RandomStreams`) so that two runs with the same
 seed produce byte-identical traces.
 
-Two queue structures back the engine:
+Three queue structures back the engine:
 
-* a **timer wheel** (calendar queue) for events within a short horizon
-  of the clock — the dominant population: OSPF hellos, CPU-scheduler
-  quanta, per-hop packet callbacks. Insertion is an O(1) list append;
-  ordering inside a slot is recovered with one C-level sort when the
-  cursor reaches the slot.
-* an **overflow heap** for events beyond the wheel horizon (LSA
-  refresh, long ping deadlines). Cancelled entries are compacted away
+* a **hierarchical timer wheel** (calendar queue). Level 0 holds
+  events within a short horizon of the clock — the dominant
+  population: OSPF hellos, CPU-scheduler quanta, per-hop packet
+  callbacks. Coarser upper levels park multi-minute timers (OSPF dead
+  intervals, BGP MRAI/hold, fault schedules); when the clock
+  approaches an upper slot's window it is **cascaded** — its events
+  promoted one level down — so every event reaches level 0 before it
+  can fire. Insertion is an O(1) list append at every level; ordering
+  inside a level-0 slot is recovered with one C-level sort when the
+  cursor reaches the slot, and that sorted batch is dispatched with
+  the heap/bound/profiler guards hoisted out of the per-event loop.
+* an **overflow heap**, now only a far-future backstop for events past
+  the top wheel horizon (days). Cancelled entries are compacted away
   once they exceed a threshold fraction of the heap, so
   cancellation-churn (restartable dead timers, TCP RTO) cannot bloat
   it.
+* a **call_soon lane**: a FIFO for events scheduled at the current
+  time from inside a drain. It is sorted by construction, so these
+  events bypass wheel insertion and the same-slot re-sort entirely.
 
-Both structures drain through one strict ``(time, seq)`` merge, so the
+All structures drain through one strict ``(time, seq)`` merge, so the
 event order — and therefore every trace — is byte-identical to a
-heap-only run (``Simulator(wheel=False)``); the golden-trace test
-enforces this.
+heap-only run (``Simulator(wheel=False)``); the golden-trace and
+property tests enforce this.
+
+Cascade safety rests on two invariants. First, integer binning: an
+event's level-k slot is ``int(time / width) >> shift_k``, so the
+levels always agree on window membership (no float re-rounding between
+levels). Second, ordering: an upper slot is cascaded only after every
+event before its window start has fired — the level-0 scan is bounded
+by the window start and heap events binned before it are drained
+first. Together with "a level-k window spans exactly the full ring of
+level k-1", no insert performed by a callback can ever target a slot
+that was already cascaded, and live content at each level always fits
+one ring (no mask collisions).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from operator import attrgetter
 from typing import Any, Callable, List, Optional
 
@@ -39,8 +60,33 @@ from repro.sim.trace import TraceCollector
 _event_key = attrgetter("time", "seq")
 
 # Event.where codes: where the event currently lives. _FREE also covers
-# "already fired" and "cancelled and accounted for".
-_FREE, _IN_HEAP, _IN_WHEEL, _IN_BUCKET = 0, 1, 2, 3
+# "already fired" and "cancelled and accounted for". _IN_WHEEL covers
+# every wheel level; _IN_SOON is the call_soon fast lane; _IN_BUCKET is
+# a drain batch in flight.
+_FREE, _IN_HEAP, _IN_WHEEL, _IN_BUCKET, _IN_SOON = 0, 1, 2, 3, 4
+
+
+class _WheelLevel:
+    """One coarse level of the hierarchical wheel.
+
+    ``shift`` converts a level-0 slot index to this level's slot index
+    (slot counts are powers of two, so binning is a plain right shift
+    and the levels can never disagree about window membership).
+    ``hint`` is a lower bound on the first occupied absolute slot:
+    inserts lower it, cascades advance it, so boundary scans are
+    amortized O(1). ``count`` includes cancelled corpses (they are
+    purged when their bucket is cascaded or scanned).
+    """
+
+    __slots__ = ("buckets", "n_slots", "mask", "shift", "hint", "count")
+
+    def __init__(self, n_slots: int, shift: int):
+        self.buckets: List[List[Event]] = [[] for _ in range(n_slots)]
+        self.n_slots = n_slots
+        self.mask = n_slots - 1
+        self.shift = shift
+        self.hint = 0
+        self.count = 0
 
 
 class Event:
@@ -124,10 +170,17 @@ class Simulator:
         Use the timer-wheel fast path (default). ``False`` falls back to
         the heap-only engine; event order is identical either way.
     wheel_width, wheel_slots:
-        Slot width in simulated seconds and slot count (rounded up to a
-        power of two). The product is the wheel horizon; events beyond
-        it overflow to the heap. The default 2048 x 10 ms covers ~20 s —
-        comfortably past hello intervals and scheduler quanta.
+        Level-0 slot width in simulated seconds and slot count (rounded
+        up to a power of two). The product is the level-0 horizon. The
+        default 2048 x 10 ms covers ~20 s — comfortably past hello
+        intervals and scheduler quanta.
+    wheel_levels, wheel_upper_slots:
+        Total wheel levels and the slot count of each coarse level
+        (rounded up to a power of two). Each upper level's slot spans
+        the full ring below it, so the defaults (3 levels, 256 slots)
+        give horizons of ~20 s / ~87 min / ~15.5 days; only events past
+        the top horizon overflow to the heap. ``wheel_levels=1``
+        reproduces the single-level wheel exactly.
     compact_threshold:
         Compact the overflow heap when cancelled entries exceed this
         fraction of it. ``None`` disables compaction (the seed engine's
@@ -157,6 +210,8 @@ class Simulator:
         wheel: Optional[bool] = None,
         wheel_width: float = 0.01,
         wheel_slots: int = 2048,
+        wheel_levels: int = 3,
+        wheel_upper_slots: int = 256,
         compact_threshold: Optional[float] = 0.25,
     ):
         self.now: float = 0.0
@@ -194,15 +249,63 @@ class Simulator:
             self._width = float(wheel_width)
             self._inv_width = 1.0 / self._width
             self._cursor = 0  # absolute slot index lower bound of wheel content
-            self._wheel_count = 0  # entries in wheel lists, incl. cancelled
+            self._wheel_count = 0  # entries in level-0 lists, incl. cancelled
             self._wheel_cancelled = 0
+            upper_n = 1
+            while upper_n < wheel_upper_slots:
+                upper_n <<= 1
+            shift = n_slots.bit_length() - 1
+            self._upper: List[_WheelLevel] = []
+            for _ in range(1, max(1, int(wheel_levels))):
+                self._upper.append(_WheelLevel(upper_n, shift))
+                shift += upper_n.bit_length() - 1
+            self._upper_count = 0  # entries across upper levels, incl. cancelled
+            self._soon: Optional[deque] = deque()
         else:
             self._wheel = None
+            self._upper = []
+            self._upper_count = 0
+            self._soon = None
+        # Batch-dispatch and cascade introspection (plain int bumps per
+        # *batch*, not per event).
+        self._batches = 0
+        self._batch_events = 0
+        self._batch_max = 0
+        self._cascades = 0
+        self._cascaded_events = 0
+        self._soon_count = 0
         # Engine introspection series: pull-only, read at collection
         # time — no per-event cost in the dispatch loops.
         self.metrics.gauge("sim.pending", fn=lambda: self._live)
         self.metrics.gauge("sim.now", fn=lambda: self.now)
         self.metrics.counter("sim.events_scheduled", fn=lambda: self._seq)
+        self.metrics.counter("engine.batches", fn=lambda: self._batches)
+        self.metrics.counter("engine.batch_events", fn=lambda: self._batch_events)
+        self.metrics.gauge("engine.batch_max", fn=lambda: self._batch_max)
+        self.metrics.counter("engine.cascades", fn=lambda: self._cascades)
+        self.metrics.counter(
+            "engine.cascaded_events", fn=lambda: self._cascaded_events
+        )
+        self.metrics.counter("engine.call_soon_fast", fn=lambda: self._soon_count)
+
+    @property
+    def dispatch_stats(self) -> dict:
+        """Batch-dispatch and cascade counters as a plain dict.
+
+        The same numbers the ``engine.*`` metrics expose, for callers
+        (``make profile``, benchmarks) that want them without a
+        registry collection pass.
+        """
+        batches = self._batches
+        return {
+            "batches": batches,
+            "batch_events": self._batch_events,
+            "batch_max": self._batch_max,
+            "batch_mean": self._batch_events / batches if batches else 0.0,
+            "cascades": self._cascades,
+            "cascaded_events": self._cascaded_events,
+            "call_soon_fast": self._soon_count,
+        }
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -220,18 +323,72 @@ class Simulator:
         self._seq = seq = self._seq + 1
         event = Event(time, seq, fn, args, self)
         self._live += 1
-        self._insert(event)
+        # _insert inlined: schedule() is the hottest allocation site and
+        # a call frame per event is measurable at bench scale.
+        wheel = self._wheel
+        if wheel is not None:
+            inv = self._inv_width
+            slot = int(time * inv)
+            base = int(self.now * inv)
+            if slot - base < self._n_slots:
+                if slot < self._cursor:
+                    self._cursor = slot
+                    self._disturbed = True
+                wheel[slot & self._mask].append(event)
+                event.where = _IN_WHEEL
+                self._wheel_count += 1
+                return event
+            self._insert_far(event, slot, base)
+            return event
+        heapq.heappush(self._heap, (time, seq, event))
+        event.where = _IN_HEAP
         return event
 
     def at(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self.schedule(self.now + delay, fn, *args)
+        now = self.now
+        time = now + delay
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._live += 1
+        wheel = self._wheel
+        if wheel is not None:
+            inv = self._inv_width
+            slot = int(time * inv)
+            base = int(now * inv)
+            if slot - base < self._n_slots:
+                if slot < self._cursor:
+                    self._cursor = slot
+                    self._disturbed = True
+                wheel[slot & self._mask].append(event)
+                event.where = _IN_WHEEL
+                self._wheel_count += 1
+                return event
+            self._insert_far(event, slot, base)
+            return event
+        heapq.heappush(self._heap, (time, seq, event))
+        event.where = _IN_HEAP
+        return event
 
     def call_soon(self, fn: Callable, *args: Any) -> Event:
-        """Run ``fn(*args)`` at the current time, after pending events."""
-        return self.schedule(self.now, fn, *args)
+        """Run ``fn(*args)`` at the current time, after pending events.
+
+        Inside a run this takes a fast lane: appends to a FIFO that is
+        sorted by construction (time never decreases, seq always
+        grows), skipping wheel insertion and the same-slot re-sort.
+        """
+        soon = self._soon
+        if soon is None or not self._running:
+            return self.schedule(self.now, fn, *args)
+        self._seq = seq = self._seq + 1
+        event = Event(self.now, seq, fn, args, self)
+        event.where = _IN_SOON
+        self._live += 1
+        self._soon_count += 1
+        soon.append(event)
+        return event
 
     def schedule_periodic(self, interval: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` every ``interval`` seconds, starting one
@@ -268,7 +425,23 @@ class Simulator:
         event.time = time
         event.seq = seq
         self._live += 1
-        self._insert(event)
+        wheel = self._wheel
+        if wheel is not None:
+            inv = self._inv_width
+            slot = int(time * inv)
+            base = int(self.now * inv)
+            if slot - base < self._n_slots:
+                if slot < self._cursor:
+                    self._cursor = slot
+                    self._disturbed = True
+                wheel[slot & self._mask].append(event)
+                event.where = _IN_WHEEL
+                self._wheel_count += 1
+                return event
+            self._insert_far(event, slot, base)
+            return event
+        heapq.heappush(self._heap, (time, seq, event))
+        event.where = _IN_HEAP
         return event
 
     def _insert(self, event: Event) -> None:
@@ -276,13 +449,56 @@ class Simulator:
         if wheel is not None:
             inv = self._inv_width
             slot = int(event.time * inv)
-            if slot - int(self.now * inv) < self._n_slots:
+            base = int(self.now * inv)
+            if slot - base < self._n_slots:
                 if slot < self._cursor:
                     self._cursor = slot
                     self._disturbed = True
                 wheel[slot & self._mask].append(event)
                 event.where = _IN_WHEEL
                 self._wheel_count += 1
+                return
+            upper = self._upper
+            if upper:
+                # Level 1 inlined: minutes-scale timers (dead
+                # intervals, MRAI, refresh churn) are the dominant
+                # far-insert population and skip a call frame.
+                lv = upper[0]
+                shift = lv.shift
+                s = slot >> shift
+                if s - (base >> shift) < lv.n_slots:
+                    if lv.count:
+                        if s < lv.hint:
+                            lv.hint = s
+                    else:
+                        lv.hint = s
+                    lv.buckets[s & lv.mask].append(event)
+                    lv.count += 1
+                    self._upper_count += 1
+                    event.where = _IN_WHEEL
+                    return
+            self._insert_far(event, slot, base)
+            return
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        event.where = _IN_HEAP
+
+    def _insert_far(self, event: Event, slot: int, base: int) -> None:
+        """Park an event past the level-0 horizon: first upper level
+        whose window reaches it, else the overflow heap. ``slot`` and
+        ``base`` are the event's and the clock's level-0 slots."""
+        for lv in self._upper:
+            shift = lv.shift
+            s = slot >> shift
+            if s - (base >> shift) < lv.n_slots:
+                if lv.count:
+                    if s < lv.hint:
+                        lv.hint = s
+                else:
+                    lv.hint = s
+                lv.buckets[s & lv.mask].append(event)
+                lv.count += 1
+                self._upper_count += 1
+                event.where = _IN_WHEEL
                 return
         heapq.heappush(self._heap, (event.time, event.seq, event))
         event.where = _IN_HEAP
@@ -293,6 +509,61 @@ class Simulator:
         heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
         self._heap_cancelled = 0
+
+    def _cascade(self, level_idx: int, lslot: int) -> None:
+        """Promote upper level ``level_idx``'s absolute slot ``lslot``
+        one level down (level 0 when ``level_idx`` is 0).
+
+        Only called when everything before the slot's window start has
+        fired, so the promoted events are re-binned directly — not via
+        ``_insert``, whose now-relative horizon test could bounce them
+        back up. Corpses are purged; a live event whose bin is not
+        ``lslot`` (it shares the bucket through the ring mask because a
+        corpse held the hint back) is left for a later scan.
+        """
+        lv = self._upper[level_idx]
+        bucket = lv.buckets[lslot & lv.mask]
+        if not bucket:
+            lv.hint = lslot + 1
+            return
+        shift = lv.shift
+        inv = self._inv_width
+        keep: List[Event] = []
+        promoted = 0
+        dead = 0
+        lower = self._upper[level_idx - 1] if level_idx else None
+        for event in bucket:
+            if event.cancelled:
+                dead += 1
+                continue
+            s0 = int(event.time * inv)
+            if s0 >> shift != lslot:
+                keep.append(event)
+                continue
+            promoted += 1
+            if lower is None:
+                if s0 < self._cursor:
+                    self._cursor = s0
+                self._wheel[s0 & self._mask].append(event)
+                self._wheel_count += 1
+            else:
+                s = s0 >> lower.shift
+                if lower.count:
+                    if s < lower.hint:
+                        lower.hint = s
+                else:
+                    lower.hint = s
+                lower.buckets[s & lower.mask].append(event)
+                lower.count += 1
+                self._upper_count += 1
+        bucket[:] = keep
+        removed = dead + promoted
+        lv.count -= removed
+        self._upper_count -= removed
+        self._wheel_cancelled -= dead
+        lv.hint = lslot + 1
+        self._cascades += 1
+        self._cascaded_events += promoted
 
     # ------------------------------------------------------------------
     # Execution
@@ -361,18 +632,41 @@ class Simulator:
         mask = self._mask
         n_slots = self._n_slots
         inv = self._inv_width
+        width = self._width
+        upper = self._upper
+        soon = self._soon
         pop = heapq.heappop
-        push = heapq.heappush
         key = _event_key
         bound = float("inf") if until is None else until
+        bound_slot = None if until is None else int(until * inv)
         prof = self._profiler
         while not self._stopped:
-            # Drop dead heap heads so heap[0] is a live lower bound.
+            # Drop dead heap / soon heads so each head is a live lower
+            # bound.
             while heap and heap[0][2].cancelled:
                 pop(heap)
                 self._heap_cancelled -= 1
-            if not self._wheel_count:
-                # Wheel empty: plain heap step.
+            while soon and soon[0].cancelled:
+                soon.popleft()
+            if not self._wheel_count and not self._upper_count:
+                # Wheel empty at every level: merge the call_soon lane
+                # with plain heap steps.
+                if soon:
+                    s = soon[0]
+                    if not heap or s.time < heap[0][0] or (
+                        s.time == heap[0][0] and s.seq < heap[0][1]
+                    ):
+                        if s.time > bound:
+                            return
+                        soon.popleft()
+                        self.now = s.time
+                        s.where = _FREE
+                        self._live -= 1
+                        if prof is None:
+                            s.fn(*s.args)
+                        else:
+                            prof.dispatch(s)
+                        continue
                 if not heap:
                     return
                 entry = heap[0]
@@ -398,10 +692,113 @@ class Simulator:
                 else:
                     prof.dispatch(event)
                 continue
-            # Find the next occupied ring slot, scanning from the cursor.
-            cur = self._cursor
-            while not wheel[cur & mask]:
-                cur += 1
+            # Cascade boundary: the earliest occupied upper-level
+            # window, as a level-0 slot. Nothing at or past that slot
+            # may fire before the window is cascaded. On tied starts
+            # the higher level must cascade first (its events land in
+            # the lower ring at that same start), hence the
+            # highest-to-lowest scan with a strict ``<``.
+            boundary_start = -1
+            boundary_idx = -1
+            boundary_slot = 0
+            if self._upper_count:
+                for idx in range(len(upper) - 1, -1, -1):
+                    lv = upper[idx]
+                    if not lv.count:
+                        continue
+                    h = lv.hint
+                    buckets = lv.buckets
+                    lmask = lv.mask
+                    while not buckets[h & lmask]:
+                        h += 1
+                    lv.hint = h
+                    start = h << lv.shift
+                    if boundary_start < 0 or start < boundary_start:
+                        boundary_start = start
+                        boundary_idx = idx
+                        boundary_slot = h
+            # Find the next occupied level-0 slot, scanning from the
+            # cursor but never past the cascade boundary.
+            if self._wheel_count:
+                cur = self._cursor
+                # The cursor can lag int(now/width) after heap- or
+                # soon-only stretches (the clock advances, level 0
+                # stays untouched). Live level-0 bins always lie in
+                # [int(now/width), int(now/width) + n_slots) — events
+                # are live only at times >= now and inserts are
+                # horizon-checked against int(now/width) — so clamping
+                # the scan start keeps ring-mask aliasing impossible:
+                # the first occupied ring slot found IS the true bin
+                # of its live events, which the batch hoists below
+                # (slot_end, merge_heap, check_bound) rely on.
+                base = int(self.now * inv)
+                if cur < base:
+                    cur = base
+                if boundary_start < 0:
+                    while not wheel[cur & mask]:
+                        cur += 1
+                    found = True
+                else:
+                    while cur < boundary_start and not wheel[cur & mask]:
+                        cur += 1
+                    found = cur < boundary_start
+                self._cursor = cur
+            else:
+                found = False
+                cur = boundary_start
+            if not found:
+                # No level-0 work before the boundary. Fire heap/soon
+                # events binned before the window start (a heap
+                # callback may insert into the window — legal only
+                # while it is still parked), then cascade it.
+                cand = None
+                from_heap = False
+                if soon:
+                    cand = soon[0]
+                if heap:
+                    entry = heap[0]
+                    if int(entry[0] * inv) < boundary_start and (
+                        cand is None
+                        or entry[0] < cand.time
+                        or (entry[0] == cand.time and entry[1] < cand.seq)
+                    ):
+                        cand = entry[2]
+                        from_heap = True
+                if cand is not None:
+                    time = cand.time
+                    if time > bound:
+                        return
+                    self.now = time
+                    if from_heap:
+                        pop(heap)
+                        interval = cand.interval
+                        if interval:
+                            self._seq = seq = self._seq + 1
+                            cand.seq = seq
+                            cand.time = time + interval
+                            self._insert(cand)
+                        else:
+                            cand.where = _FREE
+                            self._live -= 1
+                    else:
+                        soon.popleft()
+                        cand.where = _FREE
+                        self._live -= 1
+                    if prof is None:
+                        cand.fn(*cand.args)
+                    else:
+                        prof.dispatch(cand)
+                    self._disturbed = False
+                    continue
+                # Respect run(until=...): once the window is cascaded,
+                # outside inserts must bin at or past its start, so
+                # only cascade when the clock will reach it.
+                if bound_slot is not None and boundary_start > bound_slot:
+                    return
+                if not self._wheel_count:
+                    self._cursor = boundary_start
+                self._cascade(boundary_idx, boundary_slot)
+                continue
             ring_slot = cur & mask
             bucket = wheel[ring_slot]
             wheel[ring_slot] = []
@@ -422,6 +819,21 @@ class Simulator:
             live.sort(key=key)
             i = 0
             n = len(live)
+            self._batches += 1
+            self._batch_events += n
+            if n > self._batch_max:
+                self._batch_max = n
+            # Per-batch hoisting: with the heap head past this slot and
+            # no bound inside it, the per-event merge and bound checks
+            # vanish from the inner loop. New heap pushes from
+            # callbacks land past the wheel horizon, so they cannot
+            # invalidate ``merge_heap`` mid-batch. ``(cur + 2) * width``
+            # over-covers the slot end by a full slot to absorb float
+            # rounding; the call_soon lane is re-checked per event
+            # because callbacks feed it.
+            slot_end = (cur + 2) * width
+            merge_heap = bool(heap) and heap[0][0] <= slot_end
+            check_bound = bound <= slot_end
             while i < n:
                 event = live[i]
                 if event.cancelled:
@@ -434,45 +846,66 @@ class Simulator:
                 # 2 = inserts landed in an earlier slot, or stop() was
                 #     called (push the remainder back and rescan).
                 dirty = 0
-                # Run heap events that precede this wheel event.
-                while heap:
-                    entry = heap[0]
-                    head = entry[2]
-                    if head.cancelled:
-                        pop(heap)
-                        self._heap_cancelled -= 1
-                        continue
-                    htime = entry[0]
-                    if htime > time or (htime == time and entry[1] > seq):
-                        break
-                    if htime > bound:
-                        break
-                    pop(heap)
-                    self.now = htime
-                    hinterval = head.interval
-                    if hinterval:
-                        self._seq = hseq = self._seq + 1
-                        head.seq = hseq
-                        head.time = htime + hinterval
-                        self._insert(head)
-                    else:
-                        head.where = _FREE
-                        self._live -= 1
-                    if prof is None:
-                        head.fn(*head.args)
-                    else:
-                        prof.dispatch(head)
-                    if self._disturbed:
-                        self._disturbed = False
-                        if self._stopped:
-                            dirty = 2
+                if merge_heap or soon:
+                    # Run heap / call_soon events that precede this
+                    # wheel event, interleaved by (time, seq).
+                    while True:
+                        cand = None
+                        if soon:
+                            s = soon[0]
+                            if s.cancelled:
+                                soon.popleft()
+                                continue
+                            cand = s
+                        if merge_heap and heap:
+                            entry = heap[0]
+                            head = entry[2]
+                            if head.cancelled:
+                                pop(heap)
+                                self._heap_cancelled -= 1
+                                continue
+                            if cand is None or entry[0] < cand.time or (
+                                entry[0] == cand.time and entry[1] < cand.seq
+                            ):
+                                cand = head
+                        if cand is None:
                             break
-                        cursor = self._cursor
-                        if cursor <= cur:
-                            dirty = 1 if cursor == cur else 2
+                        ctime = cand.time
+                        if ctime > time or (ctime == time and cand.seq > seq):
                             break
+                        if ctime > bound:
+                            break
+                        self.now = ctime
+                        if cand.where == _IN_SOON:
+                            soon.popleft()
+                            cand.where = _FREE
+                            self._live -= 1
+                        else:
+                            pop(heap)
+                            hinterval = cand.interval
+                            if hinterval:
+                                self._seq = hseq = self._seq + 1
+                                cand.seq = hseq
+                                cand.time = ctime + hinterval
+                                self._insert(cand)
+                            else:
+                                cand.where = _FREE
+                                self._live -= 1
+                        if prof is None:
+                            cand.fn(*cand.args)
+                        else:
+                            prof.dispatch(cand)
+                        if self._disturbed:
+                            self._disturbed = False
+                            if self._stopped:
+                                dirty = 2
+                                break
+                            cursor = self._cursor
+                            if cursor <= cur:
+                                dirty = 1 if cursor == cur else 2
+                                break
                 if not dirty:
-                    if time > bound:
+                    if check_bound and time > bound:
                         self._pushback(live, i, ring_slot, cur)
                         return
                     self.now = time
@@ -496,8 +929,7 @@ class Simulator:
                             event.where = _IN_WHEEL
                             self._wheel_count += 1
                         else:
-                            push(heap, (next_time, seq, event))
-                            event.where = _IN_HEAP
+                            self._insert_far(event, slot, cur)
                     else:
                         event.where = _FREE
                         self._live -= 1
@@ -515,8 +947,8 @@ class Simulator:
                                 dirty = 1 if cursor == cur else 2
                 if dirty == 1:
                     # New arrivals in the slot being drained (sub-width
-                    # periodic timers, call_soon): fold them into the
-                    # remaining work and keep going.
+                    # periodic timers): fold them into the remaining
+                    # work and keep going.
                     arrivals = wheel[ring_slot]
                     wheel[ring_slot] = []
                     self._wheel_count -= len(arrivals)
@@ -529,6 +961,7 @@ class Simulator:
                             event.where = _IN_BUCKET
                             fresh.append(event)
                     self._wheel_cancelled -= dead
+                    self._batch_events += len(arrivals) - dead
                     fresh.sort(key=key)
                     live = fresh
                     i = 0
@@ -550,22 +983,42 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the single next event. Returns False if queue empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-            self._heap_cancelled -= 1
-        wheel_min = self._wheel_min()
         heap = self._heap
-        if wheel_min is not None and (
-            not heap or (wheel_min.time, wheel_min.seq) < (heap[0][0], heap[0][1])
-        ):
-            bucket = self._wheel[self._cursor & self._mask]
-            bucket.remove(wheel_min)
-            self._wheel_count -= 1
-            event = wheel_min
-        elif heap:
-            event = heapq.heappop(heap)[2]
-        else:
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._heap_cancelled -= 1
+        soon = self._soon
+        while soon and soon[0].cancelled:
+            soon.popleft()
+        event, bucket, level = self._wheel_min()
+        source = "wheel" if event is not None else None
+        if soon:
+            s = soon[0]
+            if event is None or s.time < event.time or (
+                s.time == event.time and s.seq < event.seq
+            ):
+                event = s
+                source = "soon"
+        if heap:
+            entry = heap[0]
+            if event is None or entry[0] < event.time or (
+                entry[0] == event.time and entry[1] < event.seq
+            ):
+                event = entry[2]
+                source = "heap"
+        if event is None:
             return False
+        if source == "heap":
+            heapq.heappop(heap)
+        elif source == "soon":
+            soon.popleft()
+        else:
+            bucket.remove(event)
+            if level is None:
+                self._wheel_count -= 1
+            else:
+                level.count -= 1
+                self._upper_count -= 1
         time = event.time
         self.now = time
         event.where = _FREE
@@ -589,29 +1042,83 @@ class Simulator:
         self._stopped = True
         self._disturbed = True
 
-    def _wheel_min(self) -> Optional[Event]:
-        """Earliest live wheel event (left in place), advancing the
-        cursor past empty and fully-cancelled slots."""
-        if self._wheel is None or not self._wheel_count:
-            return None
-        wheel = self._wheel
-        mask = self._mask
-        cur = self._cursor
-        while self._wheel_count:
-            bucket = wheel[cur & mask]
-            if bucket:
-                live = [event for event in bucket if not event.cancelled]
-                if len(live) != len(bucket):
-                    removed = len(bucket) - len(live)
-                    self._wheel_cancelled -= removed
-                    self._wheel_count -= removed
-                    bucket[:] = live
-                if live:
-                    self._cursor = cur
-                    return min(live, key=_event_key)
-            cur += 1
-        self._cursor = cur
-        return None
+    def _wheel_min(self):
+        """Earliest live event across all wheel levels, left in place.
+
+        Returns ``(event, bucket, level)`` — ``level`` is None for
+        level 0 — or ``(None, None, None)``. Advances the level-0
+        cursor and the level hints past empty / fully-dead slots,
+        purging corpses as it goes.
+        """
+        best = None
+        best_bucket = None
+        best_level = None
+        if self._wheel is not None and self._wheel_count:
+            wheel = self._wheel
+            mask = self._mask
+            cur = self._cursor
+            # Same clamp as the run loop: live level-0 bins are never
+            # below int(now/width), so starting there keeps the first
+            # occupied ring slot unambiguous under the ring mask.
+            base = int(self.now * self._inv_width)
+            if cur < base:
+                cur = base
+            while self._wheel_count:
+                bucket = wheel[cur & mask]
+                if bucket:
+                    live = [event for event in bucket if not event.cancelled]
+                    if len(live) != len(bucket):
+                        removed = len(bucket) - len(live)
+                        self._wheel_cancelled -= removed
+                        self._wheel_count -= removed
+                        bucket[:] = live
+                    if live:
+                        self._cursor = cur
+                        best = min(live, key=_event_key)
+                        best_bucket = bucket
+                        break
+                cur += 1
+            else:
+                self._cursor = cur
+        if self._upper_count:
+            inv = self._inv_width
+            for lv in self._upper:
+                if not lv.count:
+                    continue
+                h = lv.hint
+                buckets = lv.buckets
+                lmask = lv.mask
+                shift = lv.shift
+                while lv.count:
+                    bucket = buckets[h & lmask]
+                    if bucket:
+                        live = [e for e in bucket if not e.cancelled]
+                        if len(live) != len(bucket):
+                            removed = len(bucket) - len(live)
+                            self._wheel_cancelled -= removed
+                            lv.count -= removed
+                            self._upper_count -= removed
+                            bucket[:] = live
+                        # An event can share the bucket through the
+                        # ring mask while binned to a later slot; only
+                        # events binned here bound the level minimum.
+                        binned = [
+                            e for e in live
+                            if int(e.time * inv) >> shift == h
+                        ]
+                        if binned:
+                            lv.hint = h
+                            cand = min(binned, key=_event_key)
+                            if best is None or cand.time < best.time or (
+                                cand.time == best.time and cand.seq < best.seq
+                            ):
+                                best = cand
+                                best_bucket = bucket
+                                best_level = lv
+                            break
+                    lv.hint = h + 1
+                    h += 1
+        return best, best_bucket, best_level
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None."""
@@ -619,12 +1126,21 @@ class Simulator:
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
             self._heap_cancelled -= 1
-        wheel_min = self._wheel_min()
-        if wheel_min is None:
-            return heap[0][0] if heap else None
-        if heap and (heap[0][0], heap[0][1]) < (wheel_min.time, wheel_min.seq):
-            return heap[0][0]
-        return wheel_min.time
+        soon = self._soon
+        while soon and soon[0].cancelled:
+            soon.popleft()
+        best, _, _ = self._wheel_min()
+        best_time = best.time if best is not None else None
+        best_seq = best.seq if best is not None else 0
+        if soon:
+            s = soon[0]
+            if best_time is None or (s.time, s.seq) < (best_time, best_seq):
+                best_time, best_seq = s.time, s.seq
+        if heap:
+            entry = heap[0]
+            if best_time is None or (entry[0], entry[1]) < (best_time, best_seq):
+                best_time = entry[0]
+        return best_time
 
     @property
     def pending(self) -> int:

@@ -1,0 +1,69 @@
+"""Tests for the perf-regression guard."""
+
+import json
+
+from benchmarks.check_regression import DEFAULT_METRICS, check, load_rows, main
+
+
+def _row(commit, wheel, far=None, scale=0.1):
+    row = {"commit": commit, "scale": scale,
+           "events_per_sec": {"wheel": wheel}}
+    if far is not None:
+        row["far_events_per_sec"] = {"wheel": far}
+    return row
+
+
+def _write(path, rows):
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+
+
+def test_missing_baseline_is_warn_only(tmp_path):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    assert main(["--trajectory", path]) == 0  # no file at all
+    _write(path, [_row("aaa", 1_000_000.0)])
+    assert main(["--trajectory", path]) == 0  # single row: no baseline
+
+
+def test_within_threshold_passes(tmp_path):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    _write(path, [_row("aaa", 1_000_000.0, 2_000_000.0),
+                  _row("bbb", 900_000.0, 1_800_000.0)])  # -10%
+    assert main(["--trajectory", path]) == 0
+
+
+def test_regression_fails(tmp_path):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    _write(path, [_row("aaa", 1_000_000.0, 2_000_000.0),
+                  _row("bbb", 800_000.0, 1_900_000.0)])  # -20% on one metric
+    assert main(["--trajectory", path]) == 1
+
+
+def test_improvement_passes(tmp_path):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    _write(path, [_row("aaa", 1_000_000.0, 2_000_000.0),
+                  _row("bbb", 2_500_000.0, 5_000_000.0)])
+    assert main(["--trajectory", path]) == 0
+
+
+def test_metric_missing_from_baseline_warns_only():
+    # An old baseline row without far_events_per_sec must not fail the
+    # build after the metric is introduced.
+    rows = [{"commit": "aaa", "events_per_sec": {"wheel": 1_000_000.0}},
+            _row("bbb", 1_000_000.0, 2_000_000.0)]
+    assert check(rows, DEFAULT_METRICS, 0.15) == 0
+
+
+def test_metric_missing_from_current_fails():
+    rows = [_row("aaa", 1_000_000.0, 2_000_000.0),
+            {"commit": "bbb", "events_per_sec": {"wheel": 1_000_000.0}}]
+    assert check(rows, DEFAULT_METRICS, 0.15) == 1
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    with open(path, "w") as handle:
+        handle.write("{not json\n")
+        handle.write(json.dumps(_row("aaa", 1_000_000.0)) + "\n")
+    assert len(load_rows(path)) == 1

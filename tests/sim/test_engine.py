@@ -285,6 +285,101 @@ def test_stop_mid_slot_preserves_remaining_events():
     assert fired == ["a", "b"]
 
 
+def test_cancel_event_parked_in_upper_wheel_level():
+    # Level-0 horizon is 0.16s; 5.0s parks in an upper level.
+    sim = Simulator(wheel_width=0.01, wheel_slots=16)
+    fired = []
+    far = sim.at(5.0, fired.append, "far")
+    sim.at(6.0, fired.append, "after")
+    assert sim._upper_count >= 1
+    far.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["after"]
+    assert not far.active
+
+
+def test_reschedule_rejects_event_parked_in_upper_level():
+    sim = Simulator(wheel_width=0.01, wheel_slots=16)
+    parked = sim.at(5.0, lambda: None)
+    assert sim._upper_count >= 1
+    with pytest.raises(RuntimeError):
+        sim.reschedule(parked, 10.0)
+    parked.cancel()
+    sim.run()
+
+
+def test_cancel_event_staged_in_drain_batch():
+    # Both events land in the same level-0 slot; the first cancels the
+    # second after the batch has already been pre-sorted and staged.
+    sim = Simulator()
+    fired = []
+    hit = []
+
+    def first():
+        hit.append(sim.now)
+        victim.cancel()
+
+    sim.at(0.0041, first)
+    victim = sim.at(0.0042, fired.append, "victim")
+    sim.at(0.0043, fired.append, "survivor")
+    sim.run()
+    assert hit == [0.0041]
+    assert fired == ["survivor"]
+    assert sim.pending == 0
+
+
+def test_cancel_call_soon_event_before_it_fires():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        event = sim.call_soon(fired.append, "soon")
+        event.cancel()
+        sim.call_soon(fired.append, "kept")
+
+    sim.at(1.0, outer)
+    sim.run()
+    assert fired == ["kept"]
+    assert sim.pending == 0
+
+
+def test_upper_level_events_cascade_and_fire_in_order():
+    # Tiny geometry: 16 level-0 slots, 8-slot upper levels, so these
+    # deadlines span level 1, level 2, and the overflow heap, with
+    # ring-mask collisions in every level.
+    sim = Simulator(
+        wheel_width=0.01, wheel_slots=16,
+        wheel_levels=3, wheel_upper_slots=8,
+    )
+    times = [4.17, 0.05, 1.03, 26.0, 0.9, 11.5, 1.02, 260.0, 0.05]
+    order = []
+    for t in times:
+        sim.at(t, order.append, t)
+    sim.run()
+    assert order == sorted(times)
+    assert sim._cascades > 0
+
+
+def test_dispatch_stats_count_batches_and_cascades():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(0.0041 + i * 1e-5, lambda: None)  # one level-0 slot
+    sim.at(500.0, lambda: None)  # parks in an upper level
+    sim.run()
+    stats = sim.dispatch_stats
+    assert stats["batches"] >= 1
+    assert stats["batch_events"] >= 10
+    assert stats["batch_max"] >= 10
+    assert stats["cascades"] >= 1
+    assert stats["batch_mean"] > 0.0
+    # Heap-only engines have no batch machinery: stats stay zero.
+    plain = Simulator(wheel=False)
+    plain.at(1.0, lambda: None)
+    plain.run()
+    assert plain.dispatch_stats["batches"] == 0
+
+
 def test_step_and_peek_merge_wheel_and_heap():
     sim = Simulator(wheel_width=0.01, wheel_slots=16)
     order = []

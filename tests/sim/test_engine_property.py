@@ -1,0 +1,87 @@
+"""Property test: timer-structure equivalence.
+
+The engine promises a strict (time, seq) total order regardless of
+which structure holds a timer — overflow heap, single-level wheel, or
+a hierarchical wheel with cascading upper levels. This generates
+random workloads (mixed near/far deadlines, chained scheduling,
+cancels, reschedules, periodics, chunked runs) and asserts the fire
+log is *exactly* identical — same tags, same float times — across all
+configurations, including a deliberately tiny geometry that forces
+heavy cascading and slot-mask collisions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+# (delay, action, aux, period) per timer:
+#   action 0: plain one-shot
+#   action 1: one-shot that schedules a follow-up +aux from its fire
+#   action 2: one-shot cancelled at absolute time aux (maybe too late)
+#   action 3: periodic(period), cancelled at absolute time aux
+#   action 4: one-shot that reschedules itself once to now+aux
+_delays = st.floats(min_value=0.0, max_value=50_000.0,
+                    allow_nan=False, allow_infinity=False)
+_aux = st.floats(min_value=0.0, max_value=600.0,
+                 allow_nan=False, allow_infinity=False)
+_periods = st.floats(min_value=1.0, max_value=300.0,
+                     allow_nan=False, allow_infinity=False)
+_timer = st.tuples(_delays, st.integers(min_value=0, max_value=4),
+                   _aux, _periods)
+_workload = st.lists(_timer, min_size=1, max_size=25)
+_chunks = st.lists(st.floats(min_value=0.0, max_value=60_000.0,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=3).map(sorted)
+
+
+def _run_workload(spec, chunks, **sim_kwargs):
+    sim = Simulator(seed=7, **sim_kwargs)
+    log = []
+    events = {}
+    for i, (delay, action, aux, period) in enumerate(spec):
+        if action == 0:
+            events[i] = sim.at(delay, lambda i=i: log.append((i, sim.now)))
+        elif action == 1:
+            def chained(i=i, aux=aux):
+                log.append((i, sim.now))
+                sim.at(aux, lambda i=i: log.append((i, sim.now, "follow")))
+            events[i] = sim.at(delay, chained)
+        elif action == 2:
+            event = sim.at(delay, lambda i=i: log.append((i, sim.now)))
+            events[i] = event
+            sim.at(aux, event.cancel)
+        elif action == 3:
+            event = sim.schedule_periodic(
+                period, lambda i=i: log.append((i, sim.now))
+            )
+            sim.at(aux, event.cancel)
+        elif action == 4:
+            once = []
+            def rearming(i=i, aux=aux, once=once):
+                log.append((i, sim.now))
+                if not once:
+                    once.append(1)
+                    sim.reschedule(events[i], sim.now + aux)
+            events[i] = sim.at(delay, rearming)
+    for until in chunks:
+        sim.run(until=until)
+    sim.run()
+    return log
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_workload, chunks=_chunks)
+def test_fire_order_identical_across_timer_structures(spec, chunks):
+    reference = _run_workload(spec, chunks, wheel=False)
+    # Single-level wheel (everything far goes through the heap).
+    assert _run_workload(spec, chunks, wheel_levels=1) == reference
+    # Hierarchical wheel, default geometry.
+    assert _run_workload(spec, chunks) == reference
+    # Tiny geometry: level-0 horizon 0.16s, upper levels 8 slots each,
+    # so nearly every timer parks in an upper level or the heap and
+    # most slots share a mask — maximal cascade pressure.
+    assert _run_workload(
+        spec, chunks,
+        wheel_width=0.01, wheel_slots=16,
+        wheel_levels=3, wheel_upper_slots=8,
+    ) == reference
