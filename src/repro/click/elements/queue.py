@@ -80,20 +80,18 @@ class Shaper(Element):
         burst_bytes: int = 3000,
         queue_bytes: int = 128 * 1024,
     ):
-        if rate <= 0:
-            raise ValueError(f"rate must be positive, got {rate!r}")
         super().__init__(n_outputs=1)
+        # Hot-path precomputes (_rate_bytes, _burst_f, _need_cache)
+        # are derived by the rate / burst_bytes property setters so
+        # they can never go stale if the shaper is reconfigured.
+        # Dividing by 8 is exact in binary floats, so rate/8.0 is the
+        # same value the inline expression produced — pacing stays
+        # float-identical. The token requirement depends only on wire
+        # length, so it is memoized per length.
+        self._need_cache: Dict[int, float] = {}
         self.rate = rate
         self.burst_bytes = burst_bytes
         self.queue_bytes = queue_bytes
-        # Hot-path precomputes. Dividing by 8 is exact in binary
-        # floats, so rate/8.0 here is the same value the inline
-        # expression produced — pacing stays float-identical. The
-        # token requirement depends only on wire length, so it is
-        # memoized per length.
-        self._rate_bytes = rate / 8.0
-        self._burst_f = float(burst_bytes)
-        self._need_cache: Dict[int, float] = {}
         self.tokens = float(burst_bytes)
         self._stamp = 0.0
         self._queue: Deque[Packet] = deque()
@@ -102,6 +100,29 @@ class Shaper(Element):
         self.drops = 0
         self.offered = 0
         self.sent = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"rate must be positive, got {value!r}")
+        self._rate = value
+        self._rate_bytes = value / 8.0
+
+    @property
+    def burst_bytes(self) -> int:
+        return self._burst_bytes
+
+    @burst_bytes.setter
+    def burst_bytes(self, value: int) -> None:
+        self._burst_bytes = value
+        self._burst_f = float(value)
+        # The memoized token requirement is min(len, burst); a new
+        # burst invalidates it.
+        self._need_cache.clear()
 
     def initialize(self) -> None:
         metrics = self.router.sim.metrics

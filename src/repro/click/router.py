@@ -43,14 +43,16 @@ class ClickRouter:
         self.process = process
         self.name = name
         self.sim = node.sim
-        self.syscall_cost = syscall_cost
-        self.syscalls_per_packet = syscalls_per_packet
-        self.copy_cost_per_byte = copy_cost_per_byte
         # Per-packet cost depends only on wire length; real traffic
         # uses a handful of sizes, so costs are memoized per length
         # (the cached value is the exact original expression — float
-        # identity is what keeps traces byte-identical).
+        # identity is what keeps traces byte-identical). The cost
+        # parameters are properties that clear the memo on assignment
+        # so reconfiguring a running router can't serve stale costs.
         self._cost_cache: Dict[int, float] = {}
+        self.syscall_cost = syscall_cost
+        self.syscalls_per_packet = syscalls_per_packet
+        self.copy_cost_per_byte = copy_cost_per_byte
         self.elements: Dict[str, Element] = {}
         self.drops = 0
         self._initialized = False
@@ -58,6 +60,33 @@ class ClickRouter:
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
+    @property
+    def syscall_cost(self) -> float:
+        return self._syscall_cost
+
+    @syscall_cost.setter
+    def syscall_cost(self, value: float) -> None:
+        self._syscall_cost = value
+        self._cost_cache.clear()
+
+    @property
+    def syscalls_per_packet(self) -> int:
+        return self._syscalls_per_packet
+
+    @syscalls_per_packet.setter
+    def syscalls_per_packet(self, value: int) -> None:
+        self._syscalls_per_packet = value
+        self._cost_cache.clear()
+
+    @property
+    def copy_cost_per_byte(self) -> float:
+        return self._copy_cost_per_byte
+
+    @copy_cost_per_byte.setter
+    def copy_cost_per_byte(self, value: float) -> None:
+        self._copy_cost_per_byte = value
+        self._cost_cache.clear()
+
     def per_packet_cost(self, packet: Packet) -> float:
         """CPU seconds to move one packet through this Click process."""
         wire_len = packet.wire_len

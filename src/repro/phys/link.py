@@ -63,7 +63,9 @@ class _Channel:
         self.dropped_bytes = 0
         # Serialization time depends only on wire length; memoize per
         # length with the exact original expression so cached and
-        # uncached runs stay float-identical.
+        # uncached runs stay float-identical. Keyed against the link
+        # bandwidth: Link.bandwidth's setter clears it, so the memo
+        # can't go stale if the link is reconfigured mid-run.
         self._tx_cache: Dict[int, float] = {}
 
     def send(self, packet: Packet, receiver: "Interface") -> bool:
@@ -163,19 +165,32 @@ class Link:
         queue_bytes: int = DEFAULT_QUEUE_BYTES,
         name: str = "",
     ):
-        if bandwidth <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self.sim = sim
-        self.bandwidth = bandwidth
+        self._channels = {}  # Interface -> _Channel (keyed by sender)
+        self.bandwidth = bandwidth  # property: validates + resets memos
         self.delay = delay
         self.queue_bytes = queue_bytes
         self.name = name
         self.up = True
         self.endpoints: List["Interface"] = []
         self.observers: List[Callable[["Link", bool], None]] = []
-        self._channels = {}  # Interface -> _Channel (keyed by sender)
+
+    @property
+    def bandwidth(self) -> float:
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        # The per-channel serialization-time memo is keyed only by
+        # wire length; route reconfiguration through this setter so
+        # the memo can never serve times computed for an old rate.
+        if value <= 0:
+            raise ValueError(f"bandwidth must be positive, got {value!r}")
+        self._bandwidth = value
+        for channel in self._channels.values():
+            channel._tx_cache.clear()
 
     # ------------------------------------------------------------------
     # Wiring

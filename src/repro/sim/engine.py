@@ -75,10 +75,16 @@ class _WheelLevel:
     ``hint`` is a lower bound on the first occupied absolute slot:
     inserts lower it, cascades advance it, so boundary scans are
     amortized O(1). ``count`` includes cancelled corpses (they are
-    purged when their bucket is cascaded or scanned).
+    purged when their bucket is cascaded or scanned). ``checked``
+    memoizes the absolute slot most recently verified to hold a live
+    event binned there, so the boundary scan's aliasing filter runs
+    once per slot instead of once per drain-loop pass; it never needs
+    invalidation because inserts only add live events and absolute
+    slot indices are monotone (a cascaded slot index never recurs).
     """
 
-    __slots__ = ("buckets", "n_slots", "mask", "shift", "hint", "count")
+    __slots__ = ("buckets", "n_slots", "mask", "shift", "hint", "count",
+                 "checked")
 
     def __init__(self, n_slots: int, shift: int):
         self.buckets: List[List[Event]] = [[] for _ in range(n_slots)]
@@ -87,6 +93,7 @@ class _WheelLevel:
         self.shift = shift
         self.hint = 0
         self.count = 0
+        self.checked = -1
 
 
 class Event:
@@ -592,7 +599,12 @@ class Simulator:
             self._running = False
             if prof is not None:
                 prof.loop_seconds += prof._clock() - loop_start
-        if until is not None and self.now < until:
+        # Only fast-forward when the queue genuinely drained up to
+        # ``until``. After stop() events may remain before ``until``;
+        # advancing past them would strand live level-0 bins below
+        # int(now/width), which the scan-start clamps in _run_hybrid
+        # and _wheel_min assume can never hold live events.
+        if until is not None and not self._stopped and self.now < until:
             self.now = until
         return self.now
 
@@ -709,14 +721,48 @@ class Simulator:
                     h = lv.hint
                     buckets = lv.buckets
                     lmask = lv.mask
-                    while not buckets[h & lmask]:
+                    lshift = lv.shift
+                    while lv.count:
+                        lbucket = buckets[h & lmask]
+                        if not lbucket:
+                            h += 1
+                            continue
+                        if h == lv.checked:
+                            break
+                        # A nonempty bucket may hold only corpses or
+                        # events ring-aliased to a slot a full ring
+                        # later; cascading it would promote nothing.
+                        # Purge corpses and skip ahead so each such
+                        # bucket costs one inspection rather than a
+                        # no-op _cascade; ``checked`` keeps the
+                        # common case at one list-truth test per pass.
+                        live = [e for e in lbucket if not e.cancelled]
+                        if len(live) != len(lbucket):
+                            removed = len(lbucket) - len(live)
+                            self._wheel_cancelled -= removed
+                            lv.count -= removed
+                            self._upper_count -= removed
+                            lbucket[:] = live
+                        if any(
+                            int(e.time * inv) >> lshift == h for e in live
+                        ):
+                            lv.checked = h
+                            break
                         h += 1
                     lv.hint = h
-                    start = h << lv.shift
+                    if not lv.count:
+                        continue
+                    start = h << lshift
                     if boundary_start < 0 or start < boundary_start:
                         boundary_start = start
                         boundary_idx = idx
                         boundary_slot = h
+                # Corpse purging can empty every upper level mid-scan;
+                # with level 0 also empty, loop back so the heap/soon
+                # merge path at the top takes over (the cascade branch
+                # below assumes a real boundary).
+                if boundary_start < 0 and not self._wheel_count:
+                    continue
             # Find the next occupied level-0 slot, scanning from the
             # cursor but never past the cascade boundary.
             if self._wheel_count:

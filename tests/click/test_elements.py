@@ -329,6 +329,33 @@ class TestQueueShaper:
         with pytest.raises(ValueError):
             Shaper(rate=0)
 
+    def test_reconfiguration_invalidates_memos(self, world):
+        # The per-length hot-path memos must not survive a parameter
+        # change: rate/burst_bytes and the router cost params are
+        # properties that rebuild or clear them on assignment.
+        sim, node, sliver, router = world
+        shaper = router.add("sh", Shaper(rate=8_000, burst_bytes=100))
+        shaper._need(make_packet(size=100))
+        assert shaper._need_cache
+        shaper.burst_bytes = 50
+        assert not shaper._need_cache
+        assert shaper._burst_f == 50.0
+        shaper.rate = 16_000
+        assert shaper._rate_bytes == 2_000.0
+        with pytest.raises(ValueError):
+            shaper.rate = 0
+        pkt = make_packet(size=100)
+        baseline = router.per_packet_cost(pkt)
+        assert router._cost_cache
+        router.copy_cost_per_byte = 0.0
+        assert not router._cost_cache
+        assert router.per_packet_cost(pkt) < baseline
+        router.syscall_cost = 0.0
+        assert not router._cost_cache
+        router.syscalls_per_packet = 7
+        assert not router._cost_cache
+        assert router.per_packet_cost(pkt) == 0.0
+
 
 class TestEncapTable:
     def test_maps_gw_to_port(self, world):

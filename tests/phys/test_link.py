@@ -218,3 +218,21 @@ def test_parameter_validation():
         Link(sim, bandwidth=0)
     with pytest.raises(ValueError):
         Link(sim, delay=-1)
+
+
+def test_bandwidth_reconfiguration_invalidates_tx_memo():
+    # The per-channel serialization-time memo is keyed only by wire
+    # length; the bandwidth setter must clear it so a reconfigured
+    # link never serves times computed for the old rate.
+    sim = Simulator()
+    link, a, b = make_link(sim, bandwidth=8_000_000, delay=0.0)
+    sim.at(0.0, lambda: link.transmit(a, make_packet(1000)))
+    sim.run()
+    assert sim.now == pytest.approx(0.001)  # 8000 bits at 8 Mb/s
+    link.bandwidth = 16_000_000
+    start = sim.now
+    sim.at(0.0, lambda: link.transmit(a, make_packet(1000)))
+    sim.run()
+    assert sim.now - start == pytest.approx(0.0005)
+    with pytest.raises(ValueError):
+        link.bandwidth = 0

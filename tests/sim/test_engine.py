@@ -104,6 +104,58 @@ def test_stop_halts_run():
     assert sim.pending == 1
 
 
+def test_stop_during_run_until_preserves_order():
+    # Regression: run(until) used to fast-forward now to `until` even
+    # after stop(), stranding live level-0 events behind the wheel
+    # scan-start clamp — a later run() then fired t=12 before t=5 and
+    # sent the clock backwards.
+    sim = Simulator(wheel_slots=8, wheel_width=1.0)
+    fired = []
+    sim.at(2.0, sim.stop)
+    sim.at(5.0, lambda: fired.append((5.0, sim.now)))
+    sim.at(12.0, lambda: fired.append((12.0, sim.now)))
+    sim.run(until=20.0)
+    # Stopped before draining: the clock must not pass pending events.
+    assert sim.now == 2.0
+    # Resume with an interleaved step() then drain; order and clock
+    # monotonicity must hold.
+    assert sim.step()
+    sim.run()
+    assert fired == [(5.0, 5.0), (12.0, 12.0)]
+    # Fast-forward still applies when the queue genuinely drains.
+    sim2 = Simulator(wheel_slots=8, wheel_width=1.0)
+    sim2.at(1.0, lambda: None)
+    assert sim2.run(until=30.0) == 30.0
+
+
+def test_corpse_only_upper_level_falls_back_to_heap():
+    # The boundary scan purges cancelled events from upper-level
+    # buckets; if that empties every level while level 0 is empty too,
+    # the drain loop must fall back to the heap path cleanly.
+    sim = Simulator(wheel_width=0.01, wheel_slots=16,
+                    wheel_levels=3, wheel_upper_slots=8)
+    fired = []
+    parked = sim.at(5.0, fired.append, "upper")  # parks in an upper level
+    sim.at(10_000.0, fired.append, "heap")  # overflow heap
+    parked.cancel()
+    sim.run()
+    assert fired == ["heap"]
+
+
+def test_ring_aliased_upper_bucket_does_not_gate_later_events():
+    # Two upper-level events a full ring apart share a masked bucket;
+    # the earlier one must not drag the later one's window forward,
+    # and events between them must fire in between.
+    sim = Simulator(wheel_width=0.01, wheel_slots=16,
+                    wheel_levels=2, wheel_upper_slots=8)
+    log = []
+    sim.at(0.2, log.append, 0.2)
+    sim.at(0.2 + 0.01 * 16 * 8, log.append, "aliased")
+    sim.at(0.5, log.append, 0.5)
+    sim.run()
+    assert log == [0.2, 0.5, "aliased"]
+
+
 def test_step_executes_single_event():
     sim = Simulator()
     fired = []

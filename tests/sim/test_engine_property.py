@@ -34,9 +34,7 @@ _chunks = st.lists(st.floats(min_value=0.0, max_value=60_000.0,
                    max_size=3).map(sorted)
 
 
-def _run_workload(spec, chunks, **sim_kwargs):
-    sim = Simulator(seed=7, **sim_kwargs)
-    log = []
+def _schedule_workload(sim, spec, log):
     events = {}
     for i, (delay, action, aux, period) in enumerate(spec):
         if action == 0:
@@ -63,9 +61,38 @@ def _run_workload(spec, chunks, **sim_kwargs):
                     once.append(1)
                     sim.reschedule(events[i], sim.now + aux)
             events[i] = sim.at(delay, rearming)
+
+
+def _run_workload(spec, chunks, **sim_kwargs):
+    sim = Simulator(seed=7, **sim_kwargs)
+    log = []
+    _schedule_workload(sim, spec, log)
     for until in chunks:
         sim.run(until=until)
     sim.run()
+    return log
+
+
+def _run_workload_stop_step(spec, chunks, stops, steps, **sim_kwargs):
+    """Drain the workload while interleaving stop(), run(until), step().
+
+    Each stop() may end a run(until) chunk early; the final drain loops
+    run() once per possible stop so the queue always empties.
+    """
+    sim = Simulator(seed=7, **sim_kwargs)
+    log = []
+    _schedule_workload(sim, spec, log)
+    for t in stops:
+        sim.at(t, sim.stop)
+    for until in chunks:
+        sim.run(until=until)
+        for _ in range(steps):
+            if not sim.step():
+                break
+        log.append(("clock", sim.now))
+    for _ in range(len(stops) + 1):
+        sim.run()
+        log.append(("clock", sim.now))
     return log
 
 
@@ -82,6 +109,34 @@ def test_fire_order_identical_across_timer_structures(spec, chunks):
     # most slots share a mask — maximal cascade pressure.
     assert _run_workload(
         spec, chunks,
+        wheel_width=0.01, wheel_slots=16,
+        wheel_levels=3, wheel_upper_slots=8,
+    ) == reference
+
+
+_stops = st.lists(st.floats(min_value=0.0, max_value=60_000.0,
+                            allow_nan=False, allow_infinity=False),
+                  max_size=3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_workload, chunks=_chunks, stops=_stops,
+       steps=st.integers(min_value=0, max_value=4))
+def test_stop_step_interleaving_identical_across_structures(spec, chunks,
+                                                            stops, steps):
+    # Regression guard: run(until) ended by stop() must not advance the
+    # clock past still-pending events — the wheel scan-start clamp
+    # assumes live level-0 bins never sit below int(now/width), so a
+    # stale fast-forward reordered fires and sent the clock backwards.
+    reference = _run_workload_stop_step(spec, chunks, stops, steps,
+                                        wheel=False)
+    times = [entry[1] for entry in reference]
+    assert times == sorted(times)  # clock never goes backwards
+    assert _run_workload_stop_step(spec, chunks, stops, steps,
+                                   wheel_levels=1) == reference
+    assert _run_workload_stop_step(spec, chunks, stops, steps) == reference
+    assert _run_workload_stop_step(
+        spec, chunks, stops, steps,
         wheel_width=0.01, wheel_slots=16,
         wheel_levels=3, wheel_upper_slots=8,
     ) == reference
