@@ -7,10 +7,13 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Tier-2: every benchmark cell at tiny scale (seconds, not minutes).
-# Catches broken benchmarks without paying for a real perf run.
+# Tier-2: every benchmark cell at tiny scale (seconds, not minutes),
+# plus the env-gated scale tests (the 200-AS internet build). Catches
+# broken benchmarks without paying for a real perf run.
 tier2-bench-smoke:
 	$(PYTHON) -m pytest -q -m tier2_bench_smoke tests/benchmarks
+	REPRO_SCALE_TESTS=1 $(PYTHON) -m pytest -q -m tier2_bench_smoke \
+		tests/topologies/test_internet.py
 
 # Full perf run: shards cells across cores and appends to
 # benchmarks/results/BENCH_core.json.

@@ -1,0 +1,143 @@
+"""Internet-zoo scale bench: routers-converged/sec and SPF events/sec.
+
+Section 2.1's scale bar — a multi-AS internet with realistic policy —
+is only useful if it *builds and converges fast enough to iterate on*.
+This cell constructs the tiered internet of
+:func:`repro.topologies.internet.build_internet` (at ``scale=1.0``:
+200 ASes, roughly a thousand routers) and drives it to full BGP/OSPF
+convergence in two configurations:
+
+* ``incr`` — incremental SPF (the default): single-LSA floods trigger
+  delta recomputation;
+* ``full`` — every flood reruns full Dijkstra (the seed behaviour).
+
+Both converge to the identical FIB (asserted via the order-independent
+checksum — the differential battery's claim restated at scale). The
+converge phase yields ``routers_converged_per_sec``; because it is
+dominated by BGP message processing (identical in both configs), the
+SPF comparison gets its own phase: an **LSA storm** against a router of
+the largest AS — alternately re-installing a remote router's LSA with
+a flipped link cost and retiring the recompute synchronously — whose
+``spf_events_per_sec`` isolates pure SPF engine cost on a real
+converged LSDB. That rate is the headline the incremental engine is
+expected to at least double at 200 ASes.
+
+The deterministic ``metrics`` block (router/SPF counts, FIB checksum)
+backs the runner's parallel-equals-sequential test; the registry is
+disabled during the run so cell workers stay lean.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_ROOT, os.path.join(_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.obs import MetricsRegistry  # noqa: E402
+
+FULL_SCALE_AS = 200
+CONVERGE_AT = 120.0
+STORM_EVENTS = 2000  # at scale=1.0; always even so the FIB round-trips
+
+
+def _spf_storm(world, events: int) -> float:
+    """Retire ``events`` SPF recomputations on one router of the
+    largest AS, alternately bumping a remote LSA's first link cost up
+    and back down (even count: the LSDB and FIB end where they began).
+    Returns the wall-clock spent. Bypasses flooding on purpose — this
+    times the SPF engine, not the message plumbing."""
+    from repro.routing.ospf import RouterLSA
+
+    largest = max(world.spec.ases, key=lambda a: len(a.routers))
+    daemon = world.node(largest.routers[0]).xorp.ospf
+    victim = next(
+        rid for rid in sorted(daemon.lsdb)
+        if rid != daemon.router_id and daemon.lsdb[rid].links
+    )
+    wall = 0.0
+    for i in range(events):
+        old = daemon.lsdb[victim]
+        nbr, addr, cost = old.links[0]
+        bumped = [(nbr, addr, cost + (1 if i % 2 == 0 else -1))]
+        lsa = RouterLSA(victim, old.seq + 1, bumped + old.links[1:],
+                        old.stubs)
+        start = time.perf_counter()
+        daemon._install_lsa(lsa)
+        daemon._run_spf()
+        wall += time.perf_counter() - start
+    return wall
+
+
+def run_internet_zoo_cell(config: str, seed: int, scale: float = 1.0) -> dict:
+    if config == "incr":
+        incremental = True
+    elif config == "full":
+        incremental = False
+    else:
+        raise ValueError(f"unknown internet_zoo config {config!r}")
+    from repro.topologies.internet import build_internet
+
+    n_as = max(4, int(round(FULL_SCALE_AS * min(scale, 1.0))))
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = False
+    try:
+        build_start = time.perf_counter()
+        world = build_internet(n_as=n_as, seed=seed,
+                               incremental_spf=incremental)
+        build_wall = time.perf_counter() - build_start
+        converge_start = time.perf_counter()
+        world.run(until=CONVERGE_AT)
+        converge_wall = time.perf_counter() - converge_start
+        storm_events = max(50, int(round(STORM_EVENTS * min(scale, 1.0))))
+        storm_events += storm_events % 2  # keep it even
+        storm_wall = _spf_storm(world, storm_events)
+    finally:
+        MetricsRegistry.default_enabled = old
+
+    routers = world.spec.n_routers
+    converged = world.converged_routers()
+    spf_runs = spf_full = spf_incremental = 0
+    for a in world.spec.ases:
+        for router in a.routers:
+            daemon = world.node(router).xorp.ospf
+            spf_runs += daemon.spf_runs
+            spf_full += daemon.spf_full_runs
+            spf_incremental += daemon.spf_incremental_runs
+    return {
+        "metrics": {
+            "n_as": n_as,
+            "routers": routers,
+            "converged_routers": converged,
+            "fib_checksum": world.fib_checksum(),
+            "spf_runs": spf_runs,
+            "spf_full_runs": spf_full,
+            "spf_incremental_runs": spf_incremental,
+            "storm_events": storm_events,
+        },
+        "perf": {
+            "wall_s": build_wall + converge_wall + storm_wall,
+            "build_s": build_wall,
+            "converge_s": converge_wall,
+            "storm_s": storm_wall,
+            "routers_converged_per_sec": (
+                converged / converge_wall if converge_wall > 0 else 0.0
+            ),
+            "spf_events_per_sec": (
+                storm_events / storm_wall if storm_wall > 0 else 0.0
+            ),
+        },
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    for config in ("incr", "full"):
+        result = run_internet_zoo_cell(config, seed=1, scale=float(
+            os.environ.get("ZOO_SCALE", "0.1")))
+        print(config, result["metrics"], {
+            k: round(v, 2) for k, v in result["perf"].items()
+        })

@@ -27,8 +27,13 @@ DEFAULT_TRAJECTORY = os.path.join(
     _ROOT, "benchmarks", "results", "TRAJECTORY_core.jsonl"
 )
 # Dotted paths into a trajectory row. The wheel engine is the config
-# every figure regeneration runs, so its rates are the guarded ones.
-DEFAULT_METRICS = ("events_per_sec.wheel", "far_events_per_sec.wheel")
+# every figure regeneration runs, so its rates are the guarded ones;
+# the internet zoo's incremental-SPF rate guards the multi-AS lane.
+DEFAULT_METRICS = (
+    "events_per_sec.wheel",
+    "far_events_per_sec.wheel",
+    "internet_spf_events_per_sec.incr",
+)
 
 
 def load_rows(path: str) -> List[dict]:

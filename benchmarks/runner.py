@@ -37,6 +37,7 @@ for _path in (_ROOT, os.path.join(_ROOT, "src")):
         sys.path.insert(0, _path)
 
 from benchmarks import bench_core_engine as core  # noqa: E402
+from benchmarks import bench_internet_zoo as zoo  # noqa: E402
 from repro.obs import BenchTrajectory, detect_commit  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -48,6 +49,7 @@ BENCHES = {
     "engine_far": (core.run_engine_far_cell, ("wheel", "flat", "heap")),
     "packet": (core.run_packet_cell, ("cow", "deep")),
     "lookup": (core.run_lookup_cell, ("radix",)),
+    "internet_zoo": (zoo.run_internet_zoo_cell, ("incr", "full")),
 }
 
 
@@ -117,6 +119,16 @@ def aggregate(results: List[dict]) -> dict:
         config: _rate(results, "packet", config, "forward_packets_per_sec")
         for config in BENCHES["packet"][1]
     }
+    zoo_spf = {
+        config: _rate(results, "internet_zoo", config, "spf_events_per_sec")
+        for config in BENCHES["internet_zoo"][1]
+    }
+    zoo_converged = {
+        config: _rate(
+            results, "internet_zoo", config, "routers_converged_per_sec"
+        )
+        for config in BENCHES["internet_zoo"][1]
+    }
     summary = {
         "events_per_sec": events,
         "engine_speedup": events["wheel"] / events["legacy"]
@@ -130,6 +142,13 @@ def aggregate(results: List[dict]) -> dict:
         "forward_packets_per_sec": forward,
         "packet_speedup": fanout["cow"] / fanout["deep"] if fanout.get("deep") else 0.0,
         "lookups_per_sec": _rate(results, "lookup", "radix", "lookups_per_sec"),
+        "internet_spf_events_per_sec": zoo_spf,
+        # Incremental vs full-Dijkstra SPF on the converging internet:
+        # the scale headline for the multi-AS zoo.
+        "internet_spf_speedup": (
+            zoo_spf["incr"] / zoo_spf["full"] if zoo_spf.get("full") else 0.0
+        ),
+        "internet_routers_converged_per_sec": zoo_converged,
     }
     return {"summary": summary, "cells": results}
 
@@ -194,6 +213,12 @@ def main(argv=None) -> int:
     print(f"  packet speedup (cow vs deep fan-out): "
           f"{summary['packet_speedup']:.2f}x")
     print(f"  lookup [radix ] {summary['lookups_per_sec']:>12,.0f} lookups/sec")
+    for config, rate in summary["internet_spf_events_per_sec"].items():
+        converged = summary["internet_routers_converged_per_sec"][config]
+        print(f"  internet_zoo [{config:<4}] {rate:>10,.0f} spf events/sec, "
+              f"{converged:>8,.1f} routers-converged/sec")
+    print(f"  internet SPF speedup (incremental vs full): "
+          f"{summary['internet_spf_speedup']:.2f}x")
 
     if not args.dry_run:
         entry = {

@@ -48,6 +48,8 @@ class Experiment:
         realtime: bool = False,
         cpu_cap=None,
         tap_route_prefix: str = "10.0.0.0/8",
+        tap_block: Optional[str] = None,
+        link_block: Optional[str] = None,
     ):
         self.vini = vini
         self.sim = vini.sim
@@ -59,8 +61,16 @@ class Experiment:
             realtime=realtime,
             cpu_cap=cpu_cap,
         )
+        # tap/link blocks default inside VirtualNetwork; large topologies
+        # (the internet zoo's ~1000 routers overflow the default /16 tap
+        # block) pass wider ones through.
+        net_kwargs = {}
+        if tap_block is not None:
+            net_kwargs["tap_block"] = tap_block
+        if link_block is not None:
+            net_kwargs["link_block"] = link_block
         self.network = VirtualNetwork(
-            self.sim, self.slice, tap_route_prefix=tap_route_prefix
+            self.sim, self.slice, tap_route_prefix=tap_route_prefix, **net_kwargs
         )
         self.upcalls = UpcallDispatcher(self.network)
         self.events: List[ExperimentEvent] = []

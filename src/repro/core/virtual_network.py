@@ -86,6 +86,16 @@ class IIASFEA(FEA):
         except KeyError:
             pass
 
+    def clear(self) -> None:
+        # Only RIB-programmed routes: the static tap/link-local entries
+        # added at wiring time live outside ``self.routes`` and stay.
+        for key in list(self.routes):
+            try:
+                self.vnode.lookup.remove_route(Prefix(key[0], key[1]))
+            except KeyError:
+                pass
+        super().clear()
+
 
 class VirtualNode(RoutingPlatform):
     """One virtual router: tap + Click data plane + XORP control plane.

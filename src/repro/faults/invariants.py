@@ -389,7 +389,7 @@ class InvariantChecker:
         return f"<InvariantChecker violations={len(self.violations)}>"
 
 
-def walk_overlay_path(network, src, dst) -> Tuple[str, List[str]]:
+def walk_overlay_path(network, src, dst, addr=None) -> Tuple[str, List[str]]:
     """Follow overlay RIB next hops from vnode ``src`` toward ``dst``.
 
     Returns ``(status, path)``: status is ``"delivered"`` (the walk
@@ -399,8 +399,15 @@ def walk_overlay_path(network, src, dst) -> Tuple[str, List[str]]:
     node names visited, ending where the walk stopped. Shared by the
     invariant checker's structural sweep and the convergence tracker's
     blackhole/micro-loop windows.
+
+    By default the walk targets ``dst``'s tap address; ``addr`` walks
+    toward an arbitrary destination address instead (e.g. a host in a
+    BGP-originated prefix), still counting as delivered on reaching
+    ``dst`` — the node expected to own the prefix.
     """
-    dst_addr = dst.tap_addr
+    from repro.net.addr import ip
+
+    dst_addr = dst.tap_addr if addr is None else ip(addr)
     seen = set()
     path: List[str] = []
     current = src

@@ -209,12 +209,15 @@ class ConvergenceTracker:
                 "Experiment, VirtualNetwork, VINI, or Simulator"
             )
         self.episodes: List[ConvergenceEpisode] = []
-        self._pairs: List[Tuple[str, str]] = []
-        self._path_state: Dict[Tuple[str, str], str] = {}
-        self._path_events: Dict[Tuple[str, str], List[Tuple[float, str]]] = {}
+        # (src, dst, addr-or-None) triples; addr=None walks to the tap.
+        self._pairs: List[Tuple[str, str, Optional[str]]] = []
+        self._path_state: Dict[Tuple[str, str, Optional[str]], str] = {}
+        self._path_events: Dict[
+            Tuple[str, str, Optional[str]], List[Tuple[float, str]]
+        ] = {}
         self._installed = False
-        for src, dst in pairs:
-            self.watch_path(src, dst)
+        for pair in pairs:
+            self.watch_path(*pair)
 
     # ------------------------------------------------------------------
     def install(self) -> "ConvergenceTracker":
@@ -233,7 +236,12 @@ class ConvergenceTracker:
         self._walk_paths()
         return self
 
-    def watch_path(self, src: str, dst: str) -> "ConvergenceTracker":
+    def watch_path(
+        self, src: str, dst: str, addr: Optional[str] = None
+    ) -> "ConvergenceTracker":
+        """Track the walk from ``src`` toward ``dst`` — to its tap
+        address, or to ``addr`` (e.g. a BGP-originated prefix the
+        destination AS anchors)."""
         if self.network is None:
             raise ValueError(
                 "watch_path() needs an overlay network target, not a "
@@ -242,7 +250,7 @@ class ConvergenceTracker:
         for name in (src, dst):
             if name not in self.network.nodes:
                 raise KeyError(f"no overlay node {name!r}")
-        pair = (src, dst)
+        pair = (src, dst, str(addr) if addr is not None else None)
         if pair not in self._pairs:
             self._pairs.append(pair)
             if self._installed:
@@ -277,8 +285,9 @@ class ConvergenceTracker:
         now = self.sim.now
         nodes = self.network.nodes
         for pair in self._pairs:
+            src, dst, addr = pair
             status, _path = walk_overlay_path(
-                self.network, nodes[pair[0]], nodes[pair[1]]
+                self.network, nodes[src], nodes[dst], addr=addr
             )
             if self._path_state.get(pair) != status:
                 self._path_state[pair] = status
@@ -288,10 +297,13 @@ class ConvergenceTracker:
     # Readback
     # ------------------------------------------------------------------
     def path_windows(self, src: str, dst: str,
-                     until: Optional[float] = None) -> List[Dict[str, Any]]:
+                     until: Optional[float] = None,
+                     addr: Optional[str] = None) -> List[Dict[str, Any]]:
         """Contiguous ``{status, start, end}`` windows for one pair.
         The final window is closed at ``until`` (default: now)."""
-        events = self._path_events.get((src, dst), [])
+        events = self._path_events.get(
+            (src, dst, str(addr) if addr is not None else None), []
+        )
         if until is None:
             until = self.sim.now
         windows = []
@@ -301,21 +313,24 @@ class ConvergenceTracker:
         return windows
 
     def blackhole_windows(self, src: str, dst: str,
-                          until: Optional[float] = None) -> List[Dict[str, Any]]:
-        return [w for w in self.path_windows(src, dst, until)
+                          until: Optional[float] = None,
+                          addr: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [w for w in self.path_windows(src, dst, until, addr=addr)
                 if w["status"] == BLACKHOLE]
 
     def loop_windows(self, src: str, dst: str,
-                     until: Optional[float] = None) -> List[Dict[str, Any]]:
-        return [w for w in self.path_windows(src, dst, until)
+                     until: Optional[float] = None,
+                     addr: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [w for w in self.path_windows(src, dst, until, addr=addr)
                 if w["status"] == LOOP]
 
     def as_dict(self, until: Optional[float] = None) -> Dict[str, Any]:
         return {
             "episodes": [e.as_dict() for e in self.episodes],
             "paths": {
-                f"{src}->{dst}": self.path_windows(src, dst, until)
-                for src, dst in self._pairs
+                f"{src}->{dst}" + (f"[{addr}]" if addr else ""):
+                    self.path_windows(src, dst, until, addr=addr)
+                for src, dst, addr in self._pairs
             },
         }
 

@@ -69,7 +69,10 @@ class Sliver:
         self.node = node
         self.slice = slice_
         self.processes: List[Process] = []
-        self.tap: Optional[TapDevice] = None
+        # Usually one tap per sliver (the PL-VINI model); embeddings
+        # that place many virtual routers on one physical node (the
+        # internet zoo) create one tap per virtual router.
+        self.taps: List[TapDevice] = []
         # Per-sliver (tap address space) UDP port table; physical-side
         # ports go through the node-wide VNET instead.
         self._udp_ports: Dict[int, object] = {}
@@ -103,16 +106,21 @@ class Sliver:
     # ------------------------------------------------------------------
     # Tap device
     # ------------------------------------------------------------------
+    @property
+    def tap(self) -> Optional[TapDevice]:
+        """The sliver's tap (the first, when there are several)."""
+        return self.taps[0] if self.taps else None
+
     def create_tap(
         self,
         address: Union[str, IPv4Address],
         route_prefix: Union[str, Prefix] = "10.0.0.0/8",
-        name: str = "tap0",
+        name: Optional[str] = None,
     ) -> TapDevice:
-        if self.tap is not None:
-            raise ValueError(f"sliver {self.slice.name}@{self.node.name} already has a tap")
+        if name is None:
+            name = f"tap{len(self.taps)}"
         tap = TapDevice(self, ip(address), prefix(route_prefix), name=name)
-        self.tap = tap
+        self.taps.append(tap)
         self.node._register_tap(tap)
         return tap
 

@@ -24,8 +24,15 @@ from repro.routing.rib import RIB, AdminDistance, RibRoute
 from repro.routing.ospf import OSPFDaemon
 from repro.routing.rip import RIPDaemon
 from repro.routing.static import StaticRoutes
-from repro.routing.bgp import BGPDaemon, BGPRoute, BGPSession
+from repro.routing.bgp import BGPDaemon, BGPRoute, BGPSession, DirectTransport
 from repro.routing.bgp_mux import BGPMultiplexer
+from repro.routing.policy import (
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    GaoRexfordPolicy,
+    is_valley_free,
+)
 from repro.routing.xorp import XORPRouter
 
 __all__ = [
@@ -34,10 +41,15 @@ __all__ = [
     "BGPMultiplexer",
     "BGPRoute",
     "BGPSession",
+    "CUSTOMER",
+    "DirectTransport",
     "FEA",
+    "GaoRexfordPolicy",
     "LocalFabric",
     "LocalPlatform",
     "OSPFDaemon",
+    "PEER",
+    "PROVIDER",
     "RIB",
     "RIPDaemon",
     "RibRoute",
@@ -45,4 +57,5 @@ __all__ = [
     "RoutingPlatform",
     "StaticRoutes",
     "XORPRouter",
+    "is_valley_free",
 ]

@@ -109,6 +109,7 @@ class DirectTransport:
         self.on_receive: Optional[Callable[[object], None]] = None
         self.on_down: Optional[Callable[[], None]] = None
         self.up = True
+        self.silent = False
         self.tx_messages = 0
 
     @classmethod
@@ -118,7 +119,7 @@ class DirectTransport:
         return a, b
 
     def send(self, message: object) -> None:
-        if not self.up or self.peer is None:
+        if not self.up or self.silent or self.peer is None:
             return
         self.tx_messages += 1
         self.sim.at(self.delay, self.peer._deliver, message)
@@ -135,10 +136,20 @@ class DirectTransport:
                 if endpoint.on_down is not None:
                     endpoint.on_down()
 
+    def blackhole(self) -> None:
+        """Silently drop messages both ways *without* signalling either
+        endpoint. Unlike :meth:`fail`, neither side's ``on_down`` fires:
+        the control plane cannot see the break, so routes through the
+        peer stay installed (stuck) until hold timers expire."""
+        for endpoint in (self, self.peer):
+            if endpoint is not None:
+                endpoint.silent = True
+
     def restore(self) -> None:
         for endpoint in (self, self.peer):
             if endpoint is not None:
                 endpoint.up = True
+                endpoint.silent = False
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +168,8 @@ class BGPSession:
         mrai: float = DEFAULT_MRAI,
         import_policy: Optional[Callable[[BGPRoute], Optional[BGPRoute]]] = None,
         export_policy: Optional[Callable[[BGPRoute], Optional[BGPRoute]]] = None,
+        local_addr: Optional[Union[str, IPv4Address]] = None,
+        nexthop_self: bool = False,
     ):
         self.daemon = daemon
         self.sim = daemon.sim
@@ -167,6 +180,13 @@ class BGPSession:
         self.mrai = mrai
         self.import_policy = import_policy
         self.export_policy = export_policy
+        # eBGP next hop: the address of our end of the shared subnet, so
+        # the neighbor can resolve it against its connected route. Falls
+        # back to the router id when the session has no local address.
+        self.local_addr = ip(local_addr) if local_addr is not None else None
+        # iBGP next-hop-self: rewrite eBGP-learned next hops to our own
+        # router id, which every iBGP peer can reach through the IGP.
+        self.nexthop_self = nexthop_self
         self.state = IDLE
         self.peer_router_id = 0
         self.adj_rib_in: Dict[Tuple[int, int], BGPRoute] = {}
@@ -303,8 +323,14 @@ class BGPSession:
                 return
         if self.is_ebgp:
             exported.as_path = (self.daemon.asn,) + exported.as_path
-            exported.nexthop = IPv4Address(self.daemon.router_id)
+            exported.nexthop = (
+                self.local_addr
+                if self.local_addr is not None
+                else IPv4Address(self.daemon.router_id)
+            )
             exported.local_pref = 100
+        elif self.nexthop_self:
+            exported.nexthop = IPv4Address(self.daemon.router_id)
         self._pending_withdraw.discard(exported.prefix.key)
         self._pending_announce[exported.prefix.key] = exported
         self._schedule_flush()
@@ -360,6 +386,7 @@ class BGPDaemon:
         router_id: Union[int, str, IPv4Address],
         rib: Optional[RIB] = None,
         name: str = "",
+        resolve_nexthops: bool = False,
     ):
         self.sim = sim
         self.asn = asn
@@ -369,6 +396,14 @@ class BGPDaemon:
         self.sessions: List[BGPSession] = []
         self.originated: Dict[Tuple[int, int], BGPRoute] = {}
         self.loc_rib: Dict[Tuple[int, int], Tuple[BGPRoute, Optional[BGPSession]]] = {}
+        # Recursive next-hop resolution: before installing a BGP route,
+        # look its next hop up in the IGP/connected portion of the RIB
+        # and install the *resolved* (nexthop, ifname); unresolvable
+        # routes stay out of the FIB. IGP changes trigger re-resolution.
+        self.resolve_nexthops = resolve_nexthops
+        self._reresolve_pending = False
+        if resolve_nexthops and rib is not None:
+            rib.on_change(self._igp_changed)
         sim.metrics.gauge(
             "bgp.loc_rib_routes", fn=lambda: float(len(self.loc_rib)), daemon=self.name
         )
@@ -383,12 +418,14 @@ class BGPDaemon:
         self,
         pfx: Union[str, Prefix],
         nexthop: Optional[Union[str, IPv4Address]] = None,
+        local_pref: int = 100,
     ) -> None:
         """Announce a locally originated prefix."""
         route = BGPRoute(
             prefix(pfx),
             as_path=(),
             nexthop=nexthop if nexthop is not None else IPv4Address(self.router_id),
+            local_pref=local_pref,
             origin=ORIGIN_IGP,
         )
         self.originated[route.prefix.key] = route
@@ -441,25 +478,77 @@ class BGPDaemon:
             return
         self.loc_rib[key] = new
         route, learned_from = new
-        if self.rib is not None and learned_from is not None:
-            distance = (
-                AdminDistance.EBGP if learned_from.is_ebgp else AdminDistance.IBGP
-            )
-            self.rib.update(
-                RibRoute(pfx, route.nexthop, "bgp", "bgp", distance, len(route.as_path))
-            )
+        if self.rib is not None:
+            if learned_from is not None:
+                self._install(pfx, route, learned_from)
+            else:
+                # Locally originated best: the origin covers the prefix
+                # itself (static/IGP), so drop any BGP-learned entry.
+                self.rib.withdraw(pfx, "bgp")
         # Re-advertise to every session except the one we learned from;
-        # iBGP routes are not reflected to other iBGP peers.
+        # iBGP routes are not reflected to other iBGP peers. A session
+        # the new best is *not* advertisable to must see a withdraw
+        # instead — otherwise a previously announced route (say a local
+        # origination that just lost to an iBGP-learned path) would
+        # linger in the peer's Adj-RIB-In forever.
         for session in self.sessions:
-            if session is learned_from:
-                continue
-            if (
+            if session is learned_from or (
                 learned_from is not None
                 and not learned_from.is_ebgp
                 and not session.is_ebgp
             ):
+                session.withdraw(pfx)
                 continue
             session.advertise(route)
+
+    # ------------------------------------------------------------------
+    # RIB installation with optional recursive next-hop resolution
+    # ------------------------------------------------------------------
+    def _install(self, pfx: Prefix, route: BGPRoute, learned_from: BGPSession) -> None:
+        distance = AdminDistance.EBGP if learned_from.is_ebgp else AdminDistance.IBGP
+        if not self.resolve_nexthops:
+            self.rib.update(
+                RibRoute(pfx, route.nexthop, "bgp", "bgp", distance, len(route.as_path))
+            )
+            return
+        resolved = self._resolve(route.nexthop)
+        if resolved is None:
+            self.rib.withdraw(pfx, "bgp")
+            return
+        nexthop, ifname = resolved
+        self.rib.update(
+            RibRoute(pfx, nexthop, ifname, "bgp", distance, len(route.as_path))
+        )
+
+    def _resolve(self, bgp_nexthop: IPv4Address) -> Optional[Tuple[IPv4Address, str]]:
+        """Resolve a BGP next hop against the IGP/connected RIB entries
+        (one recursion level, as XORP's rib does for BGP)."""
+        found = self.rib.lookup(bgp_nexthop)
+        if found is None or found.protocol == "bgp":
+            return None
+        if found.nexthop is None:
+            # Directly connected subnet: forward straight to the BGP
+            # next hop out of that interface.
+            return bgp_nexthop, found.ifname
+        return found.nexthop, found.ifname
+
+    def _igp_changed(self, pfx: Prefix, best) -> None:
+        # Ignore churn we caused ourselves; IGP/connected moves schedule
+        # one debounced re-resolution pass.
+        if best is not None and best.protocol == "bgp":
+            return
+        if self._reresolve_pending:
+            return
+        self._reresolve_pending = True
+        self.sim.call_soon(self._reresolve)
+
+    def _reresolve(self) -> None:
+        self._reresolve_pending = False
+        for key in sorted(self.loc_rib):
+            route, learned_from = self.loc_rib[key]
+            if learned_from is None:
+                continue
+            self._install(Prefix(key[0], key[1]), route, learned_from)
 
     # ------------------------------------------------------------------
     # Session lifecycle hooks

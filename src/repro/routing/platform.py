@@ -66,6 +66,10 @@ class FEA:
     def withdraw(self, pfx: Prefix) -> None:
         self.routes.pop(pfx.key, None)
 
+    def clear(self) -> None:
+        """Drop every RIB-programmed route (full-rebuild support)."""
+        self.routes.clear()
+
     def __len__(self) -> int:
         return len(self.routes)
 

@@ -168,6 +168,20 @@ class RIB:
     def on_change(self, listener: Callable[[Prefix, Optional[RibRoute]], None]) -> None:
         self._listeners.append(listener)
 
+    def rebuild_fib(self) -> None:
+        """Re-program the FEA from scratch from the current winners.
+
+        The steady-state path applies deltas (`_elect` installs or
+        withdraws exactly the prefix that moved); this is the
+        full-rebuild reference the differential tests compare that
+        delta stream against — after any update sequence, the FIB a
+        rebuild produces must be identical to the one the deltas left
+        behind.
+        """
+        self.fea.clear()
+        for pfx, route in self._winners.items():
+            self.fea.install(pfx, route.nexthop, route.ifname)
+
     def __len__(self) -> int:
         return len(self._winners)
 

@@ -46,10 +46,10 @@ class XORPRouter:
         self.rip = RIPDaemon(self.platform, self.rib, **kwargs)
         return self.rip
 
-    def configure_bgp(self, asn: int, router_id) -> BGPDaemon:
+    def configure_bgp(self, asn: int, router_id, **kwargs) -> BGPDaemon:
         if self.bgp is not None:
             raise RuntimeError("BGP already configured")
-        self.bgp = BGPDaemon(self.sim, asn, router_id, rib=self.rib)
+        self.bgp = BGPDaemon(self.sim, asn, router_id, rib=self.rib, **kwargs)
         return self.bgp
 
     # ------------------------------------------------------------------

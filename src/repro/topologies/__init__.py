@@ -21,17 +21,33 @@ from repro.topologies.generators import (
     build_star,
     build_waxman,
 )
+from repro.topologies.internet import (
+    InternetSpec,
+    InternetWorld,
+    build_internet,
+    build_policy_graph,
+    generate_internet_spec,
+    hijack_plan,
+    stuck_route_plan,
+)
 
 __all__ = [
     "ABILENE_LINKS",
     "ABILENE_POPS",
+    "InternetSpec",
+    "InternetWorld",
     "build_abilene",
     "build_abilene_iias",
     "build_deter",
     "build_deter_iias",
     "build_full_mesh",
+    "build_internet",
     "build_line",
+    "build_policy_graph",
     "build_ring",
     "build_star",
     "build_waxman",
+    "generate_internet_spec",
+    "hijack_plan",
+    "stuck_route_plan",
 ]

@@ -43,6 +43,24 @@ def test_every_cell_runs_at_tiny_scale():
     summary = aggregate(results)["summary"]
     assert summary["events_per_sec"]["wheel"] > 0
     assert summary["lookups_per_sec"] > 0
+    assert summary["internet_spf_events_per_sec"]["incr"] > 0
+    assert summary["internet_spf_speedup"] > 0
+
+
+@pytest.mark.tier2_bench_smoke
+def test_internet_zoo_configs_share_a_fib():
+    """Incremental and full SPF converge the tiny internet to the
+    identical FIB — the differential claim, checked in the bench lane."""
+    incr, full = [
+        run_cell({"bench": "internet_zoo", "config": config,
+                  "seed": 0, "scale": TINY})
+        for config in BENCHES["internet_zoo"][1]
+    ]
+    assert incr["metrics"]["converged_routers"] == incr["metrics"]["routers"]
+    assert full["metrics"]["converged_routers"] == full["metrics"]["routers"]
+    assert incr["metrics"]["fib_checksum"] == full["metrics"]["fib_checksum"]
+    assert incr["metrics"]["spf_incremental_runs"] > 0
+    assert full["metrics"]["spf_incremental_runs"] == 0
 
 
 @pytest.mark.tier2_bench_smoke

@@ -62,6 +62,22 @@ def test_fig8_fault_plan_replays_byte_identically():
     assert "fault" in first  # the plan actually drove the failure
 
 
+def test_fig8_unchanged_with_policy_layer_loaded():
+    """The Gao-Rexford policy layer is importable — and even running,
+    on its own simulator — without perturbing a policy-free golden
+    run by a byte."""
+    baseline = _serialize(_run(_with_plan))
+
+    from repro.sim.engine import Simulator
+    from repro.topologies.internet import build_policy_graph
+
+    side_sim = Simulator(seed=99)
+    build_policy_graph(side_sim, 3, [(1, 2), (1, 3)], [(2, 3)])
+    side_sim.run(until=20.0)
+
+    assert _serialize(_run(_with_plan)) == baseline
+
+
 def test_fig8_fault_plan_matches_inline_baseline():
     """Modulo its own ``fault`` records, a plan-driven run is the same
     simulation as the hand-scheduled baseline."""

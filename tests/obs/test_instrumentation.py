@@ -92,6 +92,43 @@ def test_abilene_overlay_publishes_click_and_ospf_metrics():
         assert metrics.value("ospf.last_spf_time", router=rid) > 0
 
 
+def test_policy_counters_track_import_export_decisions():
+    from repro.sim.engine import Simulator
+    from repro.topologies.internet import build_policy_graph
+
+    sim = Simulator(seed=2)
+    build_policy_graph(sim, 3, [(1, 2), (3, 2)], [])
+    sim.run(until=30.0)
+    metrics = sim.metrics
+    assert metrics.sum_values("policy.imports_accepted") > 0
+    assert metrics.sum_values("policy.exports_allowed") > 0
+    # as2 must have filtered provider routes from its other provider.
+    assert metrics.sum_values("policy.exports_filtered") > 0
+    for name in ("policy.imports_accepted", "policy.exports_allowed",
+                 "policy.exports_filtered"):
+        assert all("daemon" in m.labels for m in metrics.find(name))
+
+
+def test_disabled_registry_covers_policy_counters():
+    from repro.sim.engine import Simulator
+    from repro.topologies.internet import build_policy_graph
+
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = False
+    try:
+        sim = Simulator(seed=2)
+        daemons, _policies = build_policy_graph(sim, 3, [(1, 2), (3, 2)], [])
+        sim.run(until=30.0)
+        assert len(sim.metrics) == 0
+        assert sim.metrics.collect() == []
+        # Policy still enforced — only the bookkeeping is gone.
+        from repro.net.addr import prefix
+        assert daemons[1].loc_rib.get(prefix("99.3.0.0/16").key) is None
+        assert daemons[1].loc_rib.get(prefix("99.2.0.0/16").key) is not None
+    finally:
+        MetricsRegistry.default_enabled = old
+
+
 def test_disabled_world_registers_no_instruments():
     old = MetricsRegistry.default_enabled
     MetricsRegistry.default_enabled = False

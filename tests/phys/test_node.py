@@ -263,7 +263,11 @@ class TestTapDevice:
         a.udp_socket(p1, port=9000, local_addr="10.2.0.1")
         a.udp_socket(p2, port=9000, local_addr="10.3.0.1")  # no conflict
 
-    def test_one_tap_per_sliver(self):
+    def test_multiple_taps_per_sliver(self):
+        """A sliver can hold several taps (one per virtual router);
+        `sliver.tap` keeps pointing at the first."""
         sim, a, sliver, tap, click = self.make_tap_world()
-        with pytest.raises(ValueError):
-            sliver.create_tap("10.9.0.1")
+        second = sliver.create_tap("10.9.0.1")
+        assert sliver.taps == [tap, second]
+        assert sliver.tap is tap
+        assert second.name == "tap1"
