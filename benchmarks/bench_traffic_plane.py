@@ -1,0 +1,150 @@
+"""Traffic-plane bench: background flows/sec and solver re-solves/sec.
+
+The hybrid fluid/packet plane's pitch (ROADMAP item 2) is quantitative:
+carry a flash crowd of ~100k background flows at a wall-clock the
+packet engine cannot approach, while the foreground probe still feels
+the congestion. This cell runs the flash-crowd star — the same
+scenario as ``examples/flash_crowd.py --figure``, rebuilt here on
+purpose so the bench stays self-contained — in two configurations:
+
+* ``packet`` — every crowd user is a real CBR sender (the seed's only
+  option); users scale down to what packet-level simulation affords;
+* ``hybrid`` — the same per-user demand carried as fluid flows on a
+  :class:`repro.traffic.FluidTrafficPlane`, at 100k users full scale.
+
+Reported rates: ``bg_flow_secs_per_sec`` (background flow-seconds
+simulated per wall second — the capacity headline) and, for hybrid,
+``solver_resolves_per_sec``. The deterministic ``metrics`` block
+(flows, solver runs, before/during RTT, probes lost) backs the
+runner's parallel-equals-sequential test; the RTT pair is the
+qualitative-match check — both configs must degrade under the crowd.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_ROOT, os.path.join(_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.obs import MetricsRegistry  # noqa: E402
+
+WARMUP = 20.0
+CROWD_AT = 10.0
+CROWD_LEN = 5.0
+RUN_LEN = 25.0
+PER_USER_BPS = 50e3
+PACKET_USERS = 960  # at scale=1.0; wall-clock grows linearly with this
+HYBRID_USERS = 100_000  # the acceptance floor for the fluid plane
+
+
+def _run_crowd(mode: str, users: int, seed: int) -> dict:
+    """The flash-crowd star: crowd leaves 1-3 -> leaf0 through the hub,
+    congesting the hub->leaf0 channel the foreground ping's replies
+    cross. Duplicates the example's scenario builder on purpose."""
+    from repro.tools import FlashCrowd, Ping
+    from repro.topologies import build_star
+
+    vini, exp = build_star(4, bandwidth=20e6, delay=0.005, seed=seed,
+                           name=f"bench-crowd-{mode}", realtime=False)
+    exp.configure_ospf(hello_interval=2.0, dead_interval=6.0)
+    exp.run(until=WARMUP)
+    leaves = [exp.network.nodes[f"leaf{i}"] for i in range(4)]
+    hub = exp.network.nodes["hub"]
+    leaf0 = leaves[0]
+    sink = leaf0.phys_node.udp_socket(
+        leaf0.sliver.create_process("service"), port=9000,
+        local_addr=leaf0.tap_addr, rcvbuf=256 * 1024,
+    )
+    sink.on_receive = lambda pkt, src, sport: None
+    probe = Ping(leaf0.phys_node, hub.tap_addr, sliver=leaf0.sliver,
+                 interval=0.25, count=int(RUN_LEN / 0.25)).start()
+    start = vini.sim.now
+    plane = None
+    if mode == "packet":
+        FlashCrowd(
+            [leaf.phys_node for leaf in leaves[1:]],
+            leaf0.tap_addr, 9000,
+            n_sources=users, rate_bps=PER_USER_BPS,
+            slivers=[leaf.sliver for leaf in leaves[1:]],
+        ).schedule(start=start + CROWD_AT, duration=CROWD_LEN)
+    else:
+        from repro.traffic import FluidTrafficPlane
+
+        plane = FluidTrafficPlane(exp)
+        handles = []
+        share = [users // 3 + (1 if i < users % 3 else 0) for i in range(3)]
+
+        def crowd_on():
+            for i, count in enumerate(share):
+                if count > 0:
+                    handles.append(plane.add_flow(
+                        f"leaf{i + 1}", "leaf0",
+                        demand_bps=PER_USER_BPS, count=count,
+                        window_bytes=65535,
+                    ))
+
+        def crowd_off():
+            for handle in handles:
+                handle.stop()
+
+        vini.sim.schedule(start + CROWD_AT, crowd_on)
+        vini.sim.schedule(start + CROWD_AT + CROWD_LEN, crowd_off)
+
+    wall_start = time.perf_counter()
+    vini.run(until=start + RUN_LEN)
+    wall = time.perf_counter() - wall_start
+
+    series = probe.rtt_series()
+    before = [r for t, r in series if t - start < CROWD_AT]
+    during = [r for t, r in series
+              if CROWD_AT <= t - start < CROWD_AT + CROWD_LEN]
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+    return {
+        "wall": wall,
+        "users": users,
+        "rtt_before_ms": round(mean(before) * 1e3, 3),
+        "rtt_during_ms": round(mean(during) * 1e3, 3),
+        "probes_lost": probe.transmitted - probe.received,
+        "solver_runs": plane.stats["solver_runs"] if plane else 0,
+        "flows_peak": plane.stats["flows_peak"] if plane else 0,
+    }
+
+
+def run_traffic_plane_cell(config: str, seed: int, scale: float = 1.0) -> dict:
+    if config == "packet":
+        users = max(30, int(round(PACKET_USERS * min(scale, 1.0))))
+    elif config == "hybrid":
+        users = max(1000, int(round(HYBRID_USERS * min(scale, 1.0))))
+    else:
+        raise ValueError(f"unknown traffic_plane config {config!r}")
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = False
+    try:
+        run = _run_crowd(config, users, seed)
+    finally:
+        MetricsRegistry.default_enabled = old
+    wall = run.pop("wall")
+    return {
+        "metrics": dict(
+            run,
+            # The qualitative-match bit both configs must set: the
+            # foreground probe degrades while the crowd is on.
+            rtt_degraded=run["rtt_during_ms"] > run["rtt_before_ms"],
+        ),
+        "perf": {
+            "wall_s": round(wall, 3),
+            "bg_flow_secs_per_sec": round(users * CROWD_LEN / wall, 1),
+            "solver_resolves_per_sec": round(run["solver_runs"] / wall, 1),
+        },
+    }
+
+
+if __name__ == "__main__":
+    for config in ("packet", "hybrid"):
+        cell = run_traffic_plane_cell(config, seed=0, scale=0.1)
+        print(config, cell["metrics"], cell["perf"])

@@ -33,6 +33,7 @@ DEFAULT_METRICS = (
     "events_per_sec.wheel",
     "far_events_per_sec.wheel",
     "internet_spf_events_per_sec.incr",
+    "traffic_bg_flow_secs_per_sec.hybrid",
 )
 
 

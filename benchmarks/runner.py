@@ -38,6 +38,7 @@ for _path in (_ROOT, os.path.join(_ROOT, "src")):
 
 from benchmarks import bench_core_engine as core  # noqa: E402
 from benchmarks import bench_internet_zoo as zoo  # noqa: E402
+from benchmarks import bench_traffic_plane as traffic  # noqa: E402
 from repro.obs import BenchTrajectory, detect_commit  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -50,6 +51,7 @@ BENCHES = {
     "packet": (core.run_packet_cell, ("cow", "deep")),
     "lookup": (core.run_lookup_cell, ("radix",)),
     "internet_zoo": (zoo.run_internet_zoo_cell, ("incr", "full")),
+    "traffic_plane": (traffic.run_traffic_plane_cell, ("hybrid", "packet")),
 }
 
 
@@ -129,6 +131,14 @@ def aggregate(results: List[dict]) -> dict:
         )
         for config in BENCHES["internet_zoo"][1]
     }
+    traffic_flows = {
+        config: _rate(results, "traffic_plane", config, "bg_flow_secs_per_sec")
+        for config in BENCHES["traffic_plane"][1]
+    }
+    traffic_walls = {
+        config: _rate(results, "traffic_plane", config, "wall_s")
+        for config in BENCHES["traffic_plane"][1]
+    }
     summary = {
         "events_per_sec": events,
         "engine_speedup": events["wheel"] / events["legacy"]
@@ -149,6 +159,18 @@ def aggregate(results: List[dict]) -> dict:
             zoo_spf["incr"] / zoo_spf["full"] if zoo_spf.get("full") else 0.0
         ),
         "internet_routers_converged_per_sec": zoo_converged,
+        "traffic_bg_flow_secs_per_sec": traffic_flows,
+        # 100k fluid users vs the packet crowd at its affordable size:
+        # the wall-clock ratio is the hybrid plane's headline (the
+        # hybrid cell also carries ~100x the users while winning it).
+        "traffic_hybrid_speedup": (
+            traffic_walls["packet"] / traffic_walls["hybrid"]
+            if traffic_walls.get("hybrid")
+            else 0.0
+        ),
+        "traffic_solver_resolves_per_sec": _rate(
+            results, "traffic_plane", "hybrid", "solver_resolves_per_sec"
+        ),
     }
     return {"summary": summary, "cells": results}
 
@@ -219,6 +241,11 @@ def main(argv=None) -> int:
               f"{converged:>8,.1f} routers-converged/sec")
     print(f"  internet SPF speedup (incremental vs full): "
           f"{summary['internet_spf_speedup']:.2f}x")
+    for config, rate in summary["traffic_bg_flow_secs_per_sec"].items():
+        print(f"  traffic_plane [{config:<6}] {rate:>14,.0f} bg flow-secs/sec")
+    print(f"  traffic hybrid speedup (100k fluid users vs packet crowd): "
+          f"{summary['traffic_hybrid_speedup']:.2f}x "
+          f"({summary['traffic_solver_resolves_per_sec']:,.0f} re-solves/sec)")
 
     if not args.dry_run:
         entry = {

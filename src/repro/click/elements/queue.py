@@ -30,6 +30,10 @@ class Queue(Element):
         self.highwater = 0
         self.enqueued = 0
         self.dequeued = 0
+        # Slots held by fluid background traffic (repro.traffic); 0
+        # whenever no traffic plane is installed, leaving the original
+        # capacity check untouched.
+        self.fluid_reserved = 0
 
     def initialize(self) -> None:
         metrics = self.router.sim.metrics
@@ -42,9 +46,17 @@ class Queue(Element):
         metrics.gauge("click.queue.depth", fn=lambda: len(self._queue), **labels)
         metrics.gauge("click.queue.highwater", fn=lambda: self.highwater, **labels)
 
+    def set_fluid_reserved(self, slots: int) -> None:
+        """Reserve ``slots`` of capacity for fluid background load."""
+        if slots < 0 or slots >= self.capacity:
+            raise ValueError(
+                f"reserved slots must be in [0, {self.capacity}), got {slots!r}"
+            )
+        self.fluid_reserved = slots
+
     def push(self, port: int, packet: Packet) -> None:
         self.enqueued += 1  # every offered packet, dropped or not
-        if len(self._queue) >= self.capacity:
+        if len(self._queue) >= self.capacity - self.fluid_reserved:
             self.drops += 1
             self.router.trace_drop(packet, "queue_full")
             return
@@ -89,6 +101,9 @@ class Shaper(Element):
         # float-identical. The token requirement depends only on wire
         # length, so it is memoized per length.
         self._need_cache: Dict[int, float] = {}
+        # Fluid background load riding this shaped link (repro.traffic);
+        # 0.0 keeps _apply_rate on the exact original rate/8.0 value.
+        self._fluid_bps = 0.0
         self.rate = rate
         self.burst_bytes = burst_bytes
         self.queue_bytes = queue_bytes
@@ -110,7 +125,37 @@ class Shaper(Element):
         if value <= 0:
             raise ValueError(f"rate must be positive, got {value!r}")
         self._rate = value
-        self._rate_bytes = value / 8.0
+        self._apply_rate()
+
+    def _apply_rate(self) -> None:
+        # Dividing by 8 is exact in binary floats, so with no fluid
+        # load this reproduces the seed rate/8.0 value bit-for-bit.
+        fluid = self._fluid_bps
+        if fluid:
+            residual = self._rate - fluid
+            floor = self._rate * 0.01
+            if residual < floor:
+                residual = floor
+            self._rate_bytes = residual / 8.0
+        else:
+            self._rate_bytes = self._rate / 8.0
+
+    def set_fluid_bps(self, bps: float) -> None:
+        """Charge the token bucket with fluid background load.
+
+        The configured ``rate`` is unchanged; only the effective token
+        refill drops to the residual, so foreground packets pace as if
+        competing with the fluid flows for the same shaped capacity.
+        """
+        if bps == self._fluid_bps:
+            return
+        if self.router is not None:
+            # Settle tokens accrued at the old effective rate first.
+            self._refill()
+        self._fluid_bps = bps
+        self._apply_rate()
+        if self._queue and not self._pending:
+            self._schedule()
 
     @property
     def burst_bytes(self) -> int:

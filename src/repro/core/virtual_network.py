@@ -23,7 +23,7 @@ each experiment an arbitrary topology on a fixed infrastructure:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.click import (
     CheckIPHeader,
@@ -314,6 +314,7 @@ class VirtualLink:
         self.failed = False
         # Physical links this virtual link rides on (for upcalls).
         self.physical_links: List[Link] = []
+        self.observers: List[Callable[["VirtualLink", bool], None]] = []
 
     @property
     def name(self) -> str:
@@ -334,6 +335,8 @@ class VirtualLink:
         self.a._losses[self.ifname_a].fail()
         self.b._losses[self.ifname_b].fail()
         self.network.sim.trace.log("vlink_state", link=self.name, up=False)
+        for observer in list(self.observers):
+            observer(self, False)
 
     def recover(self) -> None:
         if not self.failed:
@@ -342,6 +345,12 @@ class VirtualLink:
         self.a._losses[self.ifname_a].recover()
         self.b._losses[self.ifname_b].recover()
         self.network.sim.trace.log("vlink_state", link=self.name, up=True)
+        for observer in list(self.observers):
+            observer(self, True)
+
+    def observe(self, callback: Callable[["VirtualLink", bool], None]) -> None:
+        """Register for up/down notifications (mirrors Link.observe)."""
+        self.observers.append(callback)
 
     def set_loss(self, drop_prob: float) -> None:
         """Make the link lossy in both directions (a loss episode)."""

@@ -294,6 +294,11 @@ class TCPConnection:
         self._delack_event = None
         self.bytes_received = 0
         self.bytes_acked = 0
+        # 1-in-N data-segment flight sampling (0 = off): long transfers
+        # get representative end-to-end span traces without retaining a
+        # flight per segment.
+        self.flight_sample = 0
+        self._data_emitted = 0
         self.fin_sent = False
         self.fin_received = False
         self._fin_pending = False
@@ -341,6 +346,18 @@ class TCPConnection:
             payload=OpaquePayload(payload_len, tag=tag),
             created_at=self.sim.now,
         )
+        if tag == "data":
+            n = self.flight_sample
+            if n:
+                self._data_emitted += 1
+                if (self._data_emitted - 1) % n == 0:
+                    fr = self.sim.flight
+                    if fr.enabled:
+                        fr.flight_begin(
+                            segment, "tcp.data", node=self.node.name,
+                            stage="tcp.send", seq=seq,
+                            dst=str(self.raddr), sample=n,
+                        )
         self.node.ip_output(segment, sliver=self.sliver)
 
     def _send_ack(self) -> None:
@@ -560,6 +577,11 @@ class TCPConnection:
                 self.on_connect()
         payload_len = packet.payload.size
         if payload_len > 0:
+            fr = self.sim.flight
+            if fr.enabled and packet.span is not None:
+                # A sampled data segment: its flight ends on delivery
+                # to the receiving connection.
+                fr.flight_end(packet, node=self.node.name)
             self._handle_data(tcp.seq, payload_len)
         if tcp.fin:
             self._handle_fin(tcp)

@@ -71,12 +71,14 @@ def build_report(
     recorder=None,
     observer=None,
     tracker=None,
+    traffic=None,
 ) -> "ExperimentReport":
     """Compile one run's observation streams into a report.
 
     ``samplers`` are :class:`~repro.obs.sampler.PeriodicSampler`
     instances; ``recorder`` a :class:`~repro.obs.spans.FlightRecorder`;
-    ``observer``/``tracker`` the :mod:`repro.obs.routing` collectors.
+    ``observer``/``tracker`` the :mod:`repro.obs.routing` collectors;
+    ``traffic`` a :class:`~repro.traffic.FluidTrafficPlane`.
     All are optional — absent sections are omitted.
     """
     data: Dict[str, Any] = {
@@ -107,6 +109,8 @@ def build_report(
         data["convergence"] = tracker.as_dict()
     if recorder is not None:
         data["flights"] = _flight_section(recorder)
+    if traffic is not None:
+        data["traffic"] = traffic.as_dict()
     return ExperimentReport(data)
 
 
@@ -171,6 +175,8 @@ class ExperimentReport:
             lines += self._convergence_md(data["convergence"])
         if "routing" in data:
             lines += self._routing_md(data["routing"])
+        if "traffic" in data:
+            lines += self._traffic_md(data["traffic"])
         lines += self._metrics_md(data["metrics"])
         if "samplers" in data:
             lines += self._samplers_md(data["samplers"])
@@ -230,6 +236,35 @@ class ExperimentReport:
                 ["router", "op", "changes"],
                 [[router, op, count]
                  for (router, op), count in sorted(churn.items())],
+            )
+        return lines
+
+    @staticmethod
+    def _traffic_md(section: Dict[str, Any]) -> List[str]:
+        flows = section["flows"]
+        solver = section["solver"]
+        lines = ["", "## Traffic plane", ""]
+        lines.append(
+            "%d fluid flows started, %d completed, %d active "
+            "(peak %d); %d solver runs, %d progressive-filling "
+            "iterations." % (
+                flows["started"], flows["completed"], flows["active"],
+                flows["peak"], solver["runs"], solver["iterations"],
+            )
+        )
+        if section["classes"]:
+            lines += ["", "### Flow classes", ""]
+            lines += _table(
+                ["src", "dst", "flows", "rate (b/s)", "blocked"],
+                [[c["src"], c["dst"], c["flows"], c["rate_bps"],
+                  c["blocked"]] for c in section["classes"]],
+            )
+        if section["links"]:
+            lines += ["", "### Fluid link occupancy", ""]
+            lines += _table(
+                ["link", "sender", "fluid (Mb/s)", "util", "packets (Mb/s)"],
+                [[l["link"], l["sender"], l["fluid_mbps"], l["util"],
+                  l["packet_mbps"]] for l in section["links"]],
             )
         return lines
 

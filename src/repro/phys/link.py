@@ -44,6 +44,13 @@ class _Channel:
         "delivered_bytes",
         "dropped_bytes",
         "_tx_cache",
+        "fluid_bps",
+        "fluid_drops",
+        "_fluid_bw",
+        "_fluid_qdelay",
+        "_fluid_loss",
+        "_fluid_reserved",
+        "_fluid_rng",
     )
 
     def __init__(self, sim: Simulator, link: "Link"):
@@ -67,6 +74,18 @@ class _Channel:
         # bandwidth: Link.bandwidth's setter clears it, so the memo
         # can't go stale if the link is reconfigured mid-run.
         self._tx_cache: Dict[int, float] = {}
+        # Fluid coupling (repro.traffic). All zero/None until a
+        # FluidTrafficPlane pushes occupancy via set_fluid(); every use
+        # below guards on ``self.fluid_bps`` so the disabled path runs
+        # the exact original arithmetic — golden traces stay
+        # byte-identical with the traffic plane importable but unused.
+        self.fluid_bps = 0.0
+        self.fluid_drops = 0
+        self._fluid_bw = 0.0  # bandwidth left for packets while fluid > 0
+        self._fluid_qdelay = 0.0
+        self._fluid_loss = 0.0
+        self._fluid_reserved = 0
+        self._fluid_rng = None
 
     def send(self, packet: Packet, receiver: "Interface") -> bool:
         self.offered += 1
@@ -76,8 +95,21 @@ class _Channel:
             self.dropped_bytes += packet.wire_len
             self.link._trace_drop(packet, "link_down")
             return False
+        if self.fluid_bps and self._fluid_loss:
+            # Congestion loss induced by fluid occupancy, drawn from an
+            # isolated per-channel stream so no other RNG stream shifts.
+            if self._fluid_rng.random() < self._fluid_loss:
+                self.drops += 1
+                self.fluid_drops += 1
+                self.dropped_bytes += packet.wire_len
+                self.link._trace_drop(packet, "fluid_congestion")
+                return False
         if self.transmitting:
-            if self.queued_bytes + packet.wire_len > self.link.queue_bytes:
+            limit = self.link.queue_bytes
+            if self.fluid_bps:
+                # Fluid backlog occupies part of the drop-tail queue.
+                limit -= self._fluid_reserved
+            if self.queued_bytes + packet.wire_len > limit:
                 self.drops += 1
                 self.dropped_bytes += packet.wire_len
                 self.link._trace_drop(packet, "queue_overflow")
@@ -101,14 +133,22 @@ class _Channel:
         wire_len = packet.wire_len
         tx_time = self._tx_cache.get(wire_len)
         if tx_time is None:
-            tx_time = wire_len * 8 / self.link.bandwidth
+            # With fluid load on the channel, packets serialize at the
+            # residual bandwidth; set_fluid() cleared the memo when the
+            # residual changed. Without fluid this is the exact
+            # original expression (and original float result).
+            bw = self._fluid_bw if self.fluid_bps else self.link.bandwidth
+            tx_time = wire_len * 8 / bw
             self._tx_cache[wire_len] = tx_time
         self.tx_packets += 1
         self.tx_bytes += wire_len
         self.sim.at(tx_time, self._tx_done, receiver)
-        event = self.sim.at(
-            tx_time + self.link.delay, self._deliver, packet, receiver
-        )
+        arrival = tx_time + self.link.delay
+        if self.fluid_bps:
+            # Waiting behind fluid-occupied queue slots (M/M/1-shaped
+            # estimate computed by the plane at solve time).
+            arrival += self._fluid_qdelay
+        event = self.sim.at(arrival, self._deliver, packet, receiver)
         self.in_flight[packet.uid] = event
 
     def _tx_done(self, receiver: "Interface") -> None:
@@ -123,6 +163,47 @@ class _Channel:
         self.delivered += 1
         self.delivered_bytes += packet.wire_len
         receiver.receive(packet)
+
+    def set_fluid(
+        self,
+        bps: float,
+        queue_delay: float,
+        loss: float,
+        reserved_bytes: int,
+    ) -> None:
+        """Install fluid occupancy on this channel (repro.traffic).
+
+        ``bps`` of aggregate background load leaves packets the
+        residual bandwidth, adds ``queue_delay`` seconds before
+        delivery, drops offered packets with probability ``loss`` from
+        a dedicated seeded stream, and reserves ``reserved_bytes`` of
+        the drop-tail queue. ``bps=0`` restores the pristine packet
+        path (and the pristine serialization memo).
+        """
+        link = self.link
+        if bps > 0.0:
+            residual = link.bandwidth - bps
+            floor = link.bandwidth * 0.01
+            if residual < floor:
+                residual = floor
+        else:
+            residual = 0.0
+        if residual != self._fluid_bw:
+            # The serialization memo was computed for the old residual
+            # (or for the raw bandwidth); never serve stale times.
+            self._tx_cache.clear()
+            self._fluid_bw = residual
+        if loss > 0.0 and self._fluid_rng is None:
+            sender = next(
+                iface for iface, ch in link._channels.items() if ch is self
+            )
+            self._fluid_rng = self.sim.rng(
+                f"traffic.loss.{link.name}.{sender.node.name}"
+            )
+        self.fluid_bps = bps
+        self._fluid_qdelay = queue_delay
+        self._fluid_loss = loss
+        self._fluid_reserved = reserved_bytes
 
     def flush(self) -> None:
         """Drop everything queued and in flight (link failure).

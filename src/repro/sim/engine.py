@@ -50,7 +50,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from operator import attrgetter
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_RECORDER
@@ -243,6 +243,8 @@ class Simulator:
         self._disturbed = False
         self._live = 0
         self._heap_cancelled = 0
+        # call_unique coalescing: callable -> its one pending event.
+        self._unique: Dict[Callable, Event] = {}
         self._compact_threshold = compact_threshold
         if wheel is None:
             wheel = type(self).default_wheel
@@ -396,6 +398,27 @@ class Simulator:
         self._soon_count += 1
         soon.append(event)
         return event
+
+    def call_unique(self, fn: Callable) -> Event:
+        """Run ``fn()`` at the current time, coalescing duplicates.
+
+        While a prior ``call_unique(fn)`` for the *same* callable is
+        still pending, further calls return that pending event instead
+        of scheduling another — the deferred-work idiom for components
+        that get dirtied many times per timestep (the fluid traffic
+        plane's rate re-solve) but must act once. The registration
+        clears when the event fires, so ``fn`` can re-arm itself.
+        """
+        pending = self._unique.get(fn)
+        if pending is not None:
+            return pending
+        event = self.call_soon(self._fire_unique, fn)
+        self._unique[fn] = event
+        return event
+
+    def _fire_unique(self, fn: Callable) -> None:
+        self._unique.pop(fn, None)
+        fn()
 
     def schedule_periodic(self, interval: float, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` every ``interval`` seconds, starting one

@@ -15,6 +15,7 @@ from repro.topologies.abilene import (
 )
 from repro.topologies.deter import build_deter, build_deter_iias
 from repro.topologies.generators import (
+    build_dumbbell,
     build_full_mesh,
     build_line,
     build_ring,
@@ -40,6 +41,7 @@ __all__ = [
     "build_abilene_iias",
     "build_deter",
     "build_deter_iias",
+    "build_dumbbell",
     "build_full_mesh",
     "build_internet",
     "build_line",

@@ -93,6 +93,48 @@ def build_full_mesh(
     return _build(edges, names, bandwidth, delay, seed, name, realtime)
 
 
+def build_dumbbell(
+    pairs: int = 2,
+    bandwidth: float = 1e9,
+    bottleneck: float = 10e6,
+    delay: float = 0.002,
+    bottleneck_delay: float = 0.01,
+    seed: int = 0,
+    name: str = "dumbbell",
+    realtime: bool = True,
+) -> Tuple[VINI, Experiment]:
+    """The classic congestion-calibration topology.
+
+    ``pairs`` senders (``s0..``) hang off router ``rl``, matching
+    receivers (``r0..``) off router ``rr``; only the ``rl--rr`` middle
+    link is narrow (``bottleneck`` b/s, ``bottleneck_delay`` s), so
+    every s->r flow competes there and nowhere else. This is the
+    2-link-path bottleneck the fluid-vs-packet differential
+    calibration runs on.
+    """
+    names = (
+        [f"s{i}" for i in range(pairs)]
+        + ["rl", "rr"]
+        + [f"r{i}" for i in range(pairs)]
+    )
+    vini = VINI(seed=seed)
+    for node in names:
+        vini.add_node(node)
+    for i in range(pairs):
+        vini.connect(f"s{i}", "rl", bandwidth=bandwidth, delay=delay)
+        vini.connect("rr", f"r{i}", bandwidth=bandwidth, delay=delay)
+    vini.connect("rl", "rr", bandwidth=bottleneck, delay=bottleneck_delay)
+    vini.install_underlay_routes()
+    exp = Experiment(vini, name, realtime=realtime)
+    for node in names:
+        exp.add_node(node, node)
+    for i in range(pairs):
+        exp.connect(f"s{i}", "rl")
+        exp.connect("rr", f"r{i}")
+    exp.connect("rl", "rr")
+    return vini, exp
+
+
 def build_waxman(
     n: int,
     alpha: float = 0.6,

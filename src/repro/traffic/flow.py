@@ -1,0 +1,151 @@
+"""Fluid flow and traffic-matrix demand models.
+
+A :class:`FluidFlow` is one background transfer (or an aggregate of
+``count`` identical transfers) modelled at flow level: no packets, just
+a demand, an optional finite size, and a rate the fair-share solver
+assigns. A :class:`TrafficMatrix` is the classic demand-matrix spec —
+aggregate bits/s per (src, dst) pair — that expands into fluid flows
+when installed on a :class:`repro.traffic.FluidTrafficPlane`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class FluidFlow:
+    """One fluid background flow (or an aggregate of identical flows).
+
+    Created via :meth:`FluidTrafficPlane.add_flow`; the plane owns the
+    rate. ``size_bytes=None`` means a persistent flow that runs until
+    :meth:`stop`; a finite size completes once the class's cumulative
+    per-flow service covers it.
+    """
+
+    __slots__ = (
+        "fid",
+        "src",
+        "dst",
+        "demand_bps",
+        "size_bytes",
+        "window_bytes",
+        "count",
+        "start",
+        "end",
+        "_cls",
+        "_served0",
+        "_plane",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        src: str,
+        dst: str,
+        demand_bps: Optional[float],
+        size_bytes: Optional[float],
+        window_bytes: Optional[float],
+        count: int,
+    ):
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.demand_bps = demand_bps
+        self.size_bytes = size_bytes
+        self.window_bytes = window_bytes
+        self.count = count
+        self.start = 0.0
+        self.end: Optional[float] = None  # set at completion / stop
+        self._cls = None  # the _FlowClass carrying this flow
+        self._served0 = 0.0  # class cumulative service at entry
+        self._plane = None
+
+    @property
+    def active(self) -> bool:
+        return self.end is None
+
+    @property
+    def rate_bps(self) -> float:
+        """Current solver-assigned per-flow rate (0 when done/blocked)."""
+        if self.end is not None or self._cls is None:
+            return 0.0
+        return self._cls.rate_bps if not self._cls.blocked else 0.0
+
+    @property
+    def served_bytes(self) -> float:
+        """Bytes delivered to each flow of this entry so far."""
+        if self._cls is None:
+            return 0.0
+        if self.end is None and self._plane is not None:
+            # The service integral advances lazily (on solve/completion
+            # events); bring it up to the current instant for the read.
+            self._plane._advance_class(self._cls, self._plane.sim.now)
+        served = self._cls.served - self._served0
+        if self.size_bytes is not None:
+            served = min(served, float(self.size_bytes))
+        return max(served, 0.0)
+
+    def stop(self) -> None:
+        """Tear the flow down early (a user abandoning the transfer)."""
+        if self._plane is not None and self.end is None:
+            self._plane.remove_flow(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.end is not None else "active"
+        extra = f" x{self.count}" if self.count != 1 else ""
+        return (
+            f"<FluidFlow #{self.fid} {self.src}->{self.dst}{extra} "
+            f"{state} rate={self.rate_bps:.0f}b/s>"
+        )
+
+
+class TrafficMatrix:
+    """Aggregate demand in bits/s per (src, dst) pair.
+
+    Build one with :meth:`add` (or :meth:`uniform` for all-pairs), then
+    ``plane.install_matrix(tm, users_per_pair=...)`` to expand each
+    entry into that many identical fluid flows splitting the pair's
+    aggregate demand.
+    """
+
+    def __init__(self) -> None:
+        self.entries: Dict[Tuple[str, str], float] = {}
+
+    @classmethod
+    def uniform(cls, nodes: Iterable[str], pair_bps: float) -> "TrafficMatrix":
+        """Every ordered pair of distinct nodes demands ``pair_bps``."""
+        tm = cls()
+        names = sorted(nodes)
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    tm.add(src, dst, pair_bps)
+        return tm
+
+    def add(self, src: str, dst: str, bps: float) -> "TrafficMatrix":
+        if src == dst:
+            raise ValueError(f"matrix entry {src}->{dst} loops back")
+        if bps < 0:
+            raise ValueError(f"negative demand {bps!r} for {src}->{dst}")
+        self.entries[(src, dst)] = self.entries.get((src, dst), 0.0) + bps
+        return self
+
+    @property
+    def total_bps(self) -> float:
+        return sum(self.entries.values())
+
+    def pairs(self) -> List[Tuple[str, str, float]]:
+        """Entries as sorted (src, dst, bps) rows — deterministic."""
+        return [
+            (src, dst, bps)
+            for (src, dst), bps in sorted(self.entries.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TrafficMatrix {len(self.entries)} pairs "
+            f"{self.total_bps / 1e6:.1f} Mb/s total>"
+        )

@@ -1,0 +1,164 @@
+"""Max-min fair-share rate solver (progressive filling).
+
+The fluid traffic plane models background load as *flow classes*:
+groups of identical flows sharing a path and a per-flow rate cap. The
+solver assigns each class the max-min fair per-flow rate — the unique
+allocation where no flow can be sped up without slowing down a flow
+that is no faster — by progressive filling (water-filling): raise the
+common water level until a link saturates or a class hits its demand
+cap, freeze the classes that can grow no further, subtract their share,
+repeat.
+
+Grouping flows into classes is what makes 100k+ concurrent flows
+tractable: a flash crowd of 100 000 identical downloads over four leaf
+links is *four* classes, so one solve is O(classes x links) no matter
+how many users ride each class.
+
+The module is engine-free: it operates on plain sequences and mappings
+so property tests (capacity conservation, insertion-order invariance)
+can drive it directly, without a simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence
+
+INF = float("inf")
+
+
+class SolveResult:
+    """Per-class per-flow rates plus solver introspection."""
+
+    __slots__ = ("rates", "iterations", "residual")
+
+    def __init__(
+        self,
+        rates: List[float],
+        iterations: int,
+        residual: Dict[Hashable, float],
+    ):
+        self.rates = rates
+        self.iterations = iterations
+        self.residual = residual
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SolveResult rates={self.rates!r} iterations={self.iterations}>"
+
+
+def tcp_steady_state_cap(
+    rtt_s: float,
+    window_bytes: float = 65535,
+    mss_bytes: float = 1460,
+    loss_rate: float = 0.0,
+) -> float:
+    """Steady-state TCP throughput cap for one flow, in bits/s.
+
+    Receive-window bound ``window * 8 / RTT``, tightened by the Mathis
+    loss bound ``(MSS * 8 / RTT) * sqrt(1.5 / p)`` when a loss rate is
+    given. Returns ``inf`` for a degenerate (non-positive) RTT — the
+    flow is then limited only by its demand and the network.
+    """
+    if rtt_s <= 0.0:
+        return INF
+    cap = window_bytes * 8.0 / rtt_s
+    if loss_rate > 0.0:
+        cap = min(cap, (mss_bytes * 8.0 / rtt_s) * math.sqrt(1.5 / loss_rate))
+    return cap
+
+
+def max_min_rates(
+    paths: Sequence[Sequence[Hashable]],
+    capacities: Dict[Hashable, float],
+    demands: Optional[Sequence[Optional[float]]] = None,
+    counts: Optional[Sequence[int]] = None,
+) -> SolveResult:
+    """Max-min fair per-flow rates for flow classes over shared links.
+
+    ``paths[i]`` is the sequence of link ids class ``i`` crosses (ids
+    must be hashable; links missing from ``capacities`` are treated as
+    unconstrained). ``demands[i]`` caps each flow of the class (``None``
+    or ``inf`` = elastic); ``counts[i]`` is the number of flows in the
+    class (default 1). Returns per-class *per-flow* rates, so a class's
+    total claim on a link is ``rates[i] * counts[i]``.
+
+    Properties (covered by the Hypothesis battery):
+
+    * conservation — on every link, the summed allocation never exceeds
+      capacity (beyond float rounding);
+    * order invariance — the allocation is a function of the class
+      *set*, not the insertion order, because each round freezes classes
+      by a globally-computed water level.
+    """
+    n = len(paths)
+    if demands is None:
+        demand_caps = [INF] * n
+    else:
+        demand_caps = [INF if d is None else float(d) for d in demands]
+    if counts is None:
+        counts = [1] * n
+    rates = [0.0] * n
+    residual = {link: float(cap) for link, cap in capacities.items()}
+    # Constrained hops only: a link without a declared capacity cannot
+    # bottleneck anything.
+    hops: List[List[Hashable]] = [
+        [link for link in path if link in residual] for path in paths
+    ]
+    nflows: Dict[Hashable, int] = {}
+    active: List[int] = []
+    for i in range(n):
+        if counts[i] <= 0:
+            continue
+        if not hops[i]:
+            # Unconstrained class: it gets its demand (an elastic class
+            # with no constraining link has no finite fair share; pin 0).
+            rates[i] = demand_caps[i] if demand_caps[i] < INF else 0.0
+            continue
+        if any(residual[link] <= 0.0 for link in hops[i]):
+            continue  # a dead hop: the class is stuck at zero
+        active.append(i)
+        for link in hops[i]:
+            nflows[link] = nflows.get(link, 0) + counts[i]
+
+    iterations = 0
+    while active:
+        iterations += 1
+        # The water level: the smallest equal-share any constraining
+        # link could still grant its remaining flows.
+        level = INF
+        for link, flows in nflows.items():
+            if flows > 0:
+                share = residual[link] / flows
+                if share < level:
+                    level = share
+        capped = [i for i in active if demand_caps[i] <= level]
+        if capped:
+            # Demand-limited classes can never use the full level; fix
+            # them at their caps and refill the slack next round.
+            fixed = capped
+            for i in fixed:
+                rates[i] = demand_caps[i]
+        elif level < INF:
+            eps = level * 1e-12
+            bottlenecked = {
+                link
+                for link, flows in nflows.items()
+                if flows > 0 and residual[link] / flows <= level + eps
+            }
+            fixed = [
+                i for i in active
+                if any(link in bottlenecked for link in hops[i])
+            ]
+            for i in fixed:
+                rates[i] = level
+        else:  # pragma: no cover - defensive: no constraining link left
+            break
+        for i in fixed:
+            claim = rates[i] * counts[i]
+            for link in hops[i]:
+                remaining = residual[link] - claim
+                residual[link] = remaining if remaining > 0.0 else 0.0
+                nflows[link] -= counts[i]
+        frozen = set(fixed)
+        active = [i for i in active if i not in frozen]
+    return SolveResult(rates, iterations, residual)
