@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test tier2-bench-smoke bench profile flight report
+.PHONY: test tier2-bench-smoke bench profile flight report watch
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -35,3 +35,10 @@ flight:
 # installed, compiled to deterministic Markdown + JSON.
 report:
 	$(PYTHON) -m repro.obs.report --out benchmarks/results/fig8_report
+
+# Live observatory: the Fig-8 failover under repro.obs.live — TTY
+# status line + deterministic JSONL feed + watchdogs + streaming
+# Perfetto flight export, all under benchmarks/results/live/.
+# WATCH_FLAGS=--headless for CI (automatic when stderr is not a TTY).
+watch:
+	$(PYTHON) -m repro.obs.live --out benchmarks/results/live $(WATCH_FLAGS)

@@ -62,6 +62,48 @@ def extract(row: dict, dotted: str) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+#: Row-stamp keys that are not benchmark cells.
+STAMP_KEYS = frozenset({"commit", "timestamp", "python", "scale", "seeds",
+                        "workers"})
+
+
+def numeric_leaves(row: dict, prefix: str = "") -> "dict[str, float]":
+    """All numeric leaves of a trajectory row as dotted-path -> value,
+    skipping the row stamp (commit/timestamp/...)."""
+    leaves: "dict[str, float]" = {}
+    for key in row:
+        if not prefix and key in STAMP_KEYS:
+            continue
+        value = row[key]
+        if isinstance(value, dict):
+            leaves.update(numeric_leaves(value, f"{prefix}{key}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaves[f"{prefix}{key}"] = float(value)
+    return leaves
+
+
+def trend(rows: List[dict]) -> None:
+    """One-line prev -> current delta per cell, printed even on pass —
+    without this the trajectory is invisible in CI unless it regresses."""
+    if len(rows) < 2:
+        return
+    baseline = numeric_leaves(rows[-2])
+    current = numeric_leaves(rows[-1])
+    print(f"check_regression: trend ({len(current)} cell metrics)")
+    for dotted in sorted(set(baseline) | set(current)):
+        base = baseline.get(dotted)
+        cur = current.get(dotted)
+        if base is None:
+            print(f"  trend {dotted}: (new) -> {cur:g}")
+        elif cur is None:
+            print(f"  trend {dotted}: {base:g} -> (missing)")
+        elif base:
+            print(f"  trend {dotted}: {base:g} -> {cur:g} "
+                  f"({(cur - base) / base:+.1%})")
+        else:
+            print(f"  trend {dotted}: {base:g} -> {cur:g}")
+
+
 def check(rows: List[dict], metrics, threshold: float) -> int:
     if len(rows) < 2:
         print(
@@ -80,6 +122,7 @@ def check(rows: List[dict], metrics, threshold: float) -> int:
             f"current {current.get('scale')}); rates are still comparable "
             "but noise is higher"
         )
+    trend(rows)
     failed = False
     for dotted in metrics:
         base = extract(baseline, dotted)

@@ -70,23 +70,84 @@ def default_cells(scale: float = 1.0, seeds=(0, 1)) -> List[dict]:
     return cells
 
 
+def cell_feed_path(spec: dict) -> str:
+    """The live-feed file of one cell under its ``live_dir``."""
+    return os.path.join(
+        spec["live_dir"],
+        "{bench}_{config}_{seed}.jsonl".format(**spec),
+    )
+
+
 def run_cell(spec: dict) -> dict:
-    """Execute one cell. Top-level so Pool workers can pickle it."""
+    """Execute one cell. Top-level so Pool workers can pickle it.
+
+    With ``live_dir`` in the spec, ``REPRO_LIVE_FEED`` is exported for
+    the cell's duration so every scenario that runs through
+    ``Experiment.run``/``VINI.run`` (the zoo, the traffic plane, the
+    figure benches) streams a per-cell live JSONL feed there. The raw
+    engine/packet/lookup microbenches drive a bare ``Simulator`` and
+    stay feed-less by design.
+    """
     fn = BENCHES[spec["bench"]][0]
-    result = fn(spec["config"], spec["seed"], spec["scale"])
-    return dict(spec, **result)
+    live_dir = spec.get("live_dir")
+    if live_dir:
+        os.makedirs(live_dir, exist_ok=True)
+        os.environ["REPRO_LIVE_FEED"] = cell_feed_path(spec)
+    try:
+        result = fn(spec["config"], spec["seed"], spec["scale"])
+    finally:
+        if live_dir:
+            os.environ.pop("REPRO_LIVE_FEED", None)
+    merged = dict(spec, **result)
+    merged.pop("live_dir", None)  # per-invocation knob, not cell data
+    return merged
 
 
-def run_cells(cells: List[dict], workers: int = 1) -> List[dict]:
+def run_cells(cells: List[dict], workers: int = 1, watch: bool = False) -> List[dict]:
     """Run cells, sharded across ``workers`` processes.
 
     ``Pool.map`` preserves input order, so the result list is identical
     to the sequential one regardless of which worker ran which cell.
+    ``watch`` prints a one-line aggregate view as each cell completes
+    (completion order), while the returned list keeps input order so
+    the artifact stays deterministic.
     """
     if workers <= 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
+        results = []
+        for index, cell in enumerate(cells):
+            result = run_cell(cell)
+            if watch:
+                _watch_line(result, index + 1, len(cells))
+            results.append(result)
+        return results
     with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
-        return pool.map(run_cell, cells)
+        if not watch:
+            return pool.map(run_cell, cells)
+        indexed: List = [None] * len(cells)
+        done = 0
+        for index, result in pool.imap_unordered(_run_indexed, list(enumerate(cells))):
+            done += 1
+            _watch_line(result, done, len(cells))
+            indexed[index] = result
+        return indexed
+
+
+def _run_indexed(pair):
+    """(index, spec) -> (index, result); top-level for pickling."""
+    index, spec = pair
+    return index, run_cell(spec)
+
+
+def _watch_line(result: dict, done: int, total: int) -> None:
+    perf = result.get("perf", {})
+    rates = ", ".join(
+        f"{key}={value:,.0f}" for key, value in sorted(perf.items())
+        if isinstance(value, (int, float)) and key != "wall_s"
+    )
+    wall = perf.get("wall_s")
+    wall_text = f" wall={wall:.2f}s" if isinstance(wall, (int, float)) else ""
+    print(f"[{done}/{total}] {result['bench']}/{result['config']} "
+          f"seed={result['seed']}{wall_text} {rates}", flush=True)
 
 
 def _mean(values: List[float]) -> float:
@@ -206,15 +267,25 @@ def main(argv=None) -> int:
                         help="perf-trajectory artifact path")
     parser.add_argument("--dry-run", action="store_true",
                         help="run and print, but do not touch the artifact")
+    parser.add_argument("--watch", action="store_true",
+                        help="print a one-line aggregate view as each cell "
+                             "completes (the artifact stays byte-identical)")
+    parser.add_argument("--live-dir", default=None, metavar="DIR",
+                        help="write a per-cell live JSONL feed "
+                             "(<bench>_<config>_<seed>.jsonl) into DIR for "
+                             "every scenario cell")
     args = parser.parse_args(argv)
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
 
     cells = default_cells(scale=args.scale, seeds=tuple(args.seeds))
+    if args.live_dir:
+        for cell in cells:
+            cell["live_dir"] = args.live_dir
     print(f"running {len(cells)} cells across {args.workers} worker(s) "
           f"(scale={args.scale}) ...")
     start = time.perf_counter()
-    results = run_cells(cells, workers=args.workers)
+    results = run_cells(cells, workers=args.workers, watch=args.watch)
     wall = time.perf_counter() - start
     report = aggregate(results)
     summary: Dict = report["summary"]

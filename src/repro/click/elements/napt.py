@@ -46,6 +46,12 @@ class NAPT(Element):
         # (proto, public_port) -> (private_addr, private_port, remote, rport)
         self._reverse: Dict[Tuple[int, int], Tuple[IPv4Address, int, IPv4Address, int]] = {}
         self._intercepts: Dict[Tuple[int, int], object] = {}
+        # (proto, public_port) -> SpanContext of the last spanned
+        # outbound packet. Return traffic arrives as a *fresh* packet
+        # from the external host (span=None); re-attaching the saved
+        # context lets a flight cross the NAT: request and reply legs
+        # stay one trace. Only populated while a recorder is enabled.
+        self._spans: Dict[Tuple[int, int], object] = {}
         self.translated_out = 0
         self.translated_in = 0
 
@@ -125,6 +131,7 @@ class NAPT(Element):
         self.translated_out += 1
         fr = self.router.sim.flight
         if fr.enabled and packet.span is not None:
+            self._spans[(proto, public_port)] = packet.span
             fr.stage(packet, "click.napt", node=self.router.node.name)
         self.output(0).push(packet)
 
@@ -138,7 +145,8 @@ class NAPT(Element):
         if transport is None:
             self.router.trace_drop(packet, "napt_unsupported_proto")
             return
-        entry = self._reverse.get((proto, transport.dport))
+        public_port = transport.dport
+        entry = self._reverse.get((proto, public_port))
         if entry is None:
             self.router.trace_drop(packet, "napt_no_mapping")
             return
@@ -153,8 +161,13 @@ class NAPT(Element):
         transport.dport = private_port
         self.translated_in += 1
         fr = self.router.sim.flight
-        if fr.enabled and packet.span is not None:
-            fr.stage(packet, "click.napt", node=self.router.node.name)
+        if fr.enabled:
+            if packet.span is None:
+                # Return leg of a spanned flight: re-attach the context
+                # saved at egress so the reply continues the trace.
+                packet.span = self._spans.get((proto, public_port))
+            if packet.span is not None:
+                fr.stage(packet, "click.napt", node=self.router.node.name)
         self.output(1).push(packet)
 
     # ------------------------------------------------------------------
@@ -165,3 +178,4 @@ class NAPT(Element):
         for intercept in self._intercepts.values():
             intercept.close()
         self._intercepts.clear()
+        self._spans.clear()

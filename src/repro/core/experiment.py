@@ -14,6 +14,7 @@ object drives the paper's Section 5.2 experiment and every bench.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.infrastructure import VINI
@@ -160,6 +161,9 @@ class Experiment:
 
     def run(self, until: Optional[float] = None) -> float:
         self.start()
+        if os.environ.get("REPRO_LIVE_FEED"):
+            from repro.obs.live import maybe_attach_env_monitor
+            maybe_attach_env_monitor(self.sim, until=until)
         return self.sim.run(until=until)
 
     def timetable(self) -> List[Tuple[float, str]]:

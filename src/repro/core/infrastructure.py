@@ -9,6 +9,7 @@ directly — they get slices and virtual topologies embedded on top.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple, Union
 
 import networkx as nx
@@ -153,6 +154,9 @@ class VINI:
         return list(self._slices.values())
 
     def run(self, until: Optional[float] = None) -> float:
+        if os.environ.get("REPRO_LIVE_FEED"):
+            from repro.obs.live import maybe_attach_env_monitor
+            maybe_attach_env_monitor(self.sim, until=until)
         return self.sim.run(until=until)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

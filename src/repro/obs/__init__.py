@@ -30,6 +30,11 @@ first-class layer instead of ad-hoc trace scans:
   deterministic Markdown + JSON compiler over one run's metrics,
   samplers, spans, and routing timelines (``python -m
   repro.obs.report`` for the Fig-8 artifact).
+* :mod:`repro.obs.live` — :class:`LiveMonitor`, the streaming
+  telemetry bus for runs *while they execute*: a deterministic JSONL
+  feed, a wall-clock TTY status line, and the :class:`Watchdog` layer
+  (stall / livelock / rate alarms). ``python -m repro.obs.live`` (or
+  ``make watch``) is the Fig-8 live observatory.
 
 Nothing in this package imports :mod:`repro.sim` at module level: the
 engine imports the registry and the null flight recorder, so the
@@ -39,6 +44,7 @@ lazy import inside the call).
 
 from repro.obs.export import (
     BenchTrajectory,
+    FlightStream,
     detect_commit,
     export_csv,
     export_jsonl,
@@ -48,6 +54,16 @@ from repro.obs.export import (
     perfetto_json,
     registry_csv,
     registry_jsonl,
+)
+from repro.obs.live import (
+    Alarm,
+    JsonlFeed,
+    LiveMonitor,
+    LivelockWatchdog,
+    RateWatchdog,
+    StallWatchdog,
+    Watchdog,
+    maybe_attach_env_monitor,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -77,6 +93,7 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Alarm",
     "BenchTrajectory",
     "ConvergenceEpisode",
     "ConvergenceTracker",
@@ -85,17 +102,24 @@ __all__ = [
     "ExperimentReport",
     "Flight",
     "FlightRecorder",
+    "FlightStream",
     "Gauge",
     "Histogram",
+    "JsonlFeed",
+    "LiveMonitor",
+    "LivelockWatchdog",
     "MetricsRegistry",
     "NULL_METRIC",
     "NULL_RECORDER",
     "NullFlightRecorder",
     "PeriodicSampler",
     "Profiler",
+    "RateWatchdog",
     "RoutingObserver",
     "Span",
     "SpanContext",
+    "StallWatchdog",
+    "Watchdog",
     "build_report",
     "detect_commit",
     "episodes_from_trace",
@@ -104,6 +128,7 @@ __all__ = [
     "export_perfetto",
     "export_series_csv",
     "log_buckets",
+    "maybe_attach_env_monitor",
     "perfetto_events",
     "perfetto_json",
     "registry_csv",

@@ -211,6 +211,177 @@ def export_perfetto(recorder, path: str) -> str:
     return path
 
 
+#: Streaming formats accepted by :class:`FlightStream`.
+STREAM_FORMATS = ("perfetto", "jsonl")
+
+
+class FlightStream:
+    """Streaming flight exporter with a hard memory ceiling.
+
+    :func:`perfetto_json` renders whatever a recorder *retained* — for a
+    million-flow run that is either a fraction of the trace (bounded
+    retention) or all of it (unbounded memory). A ``FlightStream``
+    instead receives every completed flight the moment
+    ``FlightRecorder._finish`` lets go of it, buffers at most
+    ``chunk_flights`` of them, and appends each full chunk to ``path``
+    — so the exported trace is *complete* while in-memory state never
+    exceeds one chunk, regardless of how few flights the recorder
+    keeps. Attach via ``FlightRecorder(sim, stream=...)`` and finalize
+    with ``recorder.close_stream()``.
+
+    Formats: ``"perfetto"`` emits the same Chrome-trace-event shapes as
+    :func:`perfetto_events` inside an incrementally written
+    ``traceEvents`` array (process pids assigned at first appearance —
+    completion order is deterministic, so same-seed files are
+    byte-identical); ``"jsonl"`` emits one sorted-keys JSON object per
+    flight (stages inline) and per control span.
+    """
+
+    def __init__(self, path: str, fmt: str = "perfetto",
+                 chunk_flights: int = 256):
+        if fmt not in STREAM_FORMATS:
+            raise ValueError(
+                f"unknown stream format {fmt!r}; expected one of "
+                f"{STREAM_FORMATS}"
+            )
+        if chunk_flights <= 0:
+            raise ValueError(
+                f"chunk_flights must be positive, got {chunk_flights!r}"
+            )
+        self.path = path
+        self.fmt = fmt
+        self.chunk_flights = chunk_flights
+        self._buffer: List[Any] = []
+        self._pids: Dict[str, int] = {}
+        self._handle = None
+        self._first_event = True
+        self.flights_written = 0
+        self.events_written = 0
+        self.closed = False
+
+    @property
+    def buffered(self) -> int:
+        """Flights currently held in memory (bounded by
+        ``chunk_flights``)."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def add(self, flight) -> None:
+        """Buffer one completed flight; flushes a chunk when full."""
+        if self.closed:
+            raise RuntimeError(f"stream {self.path!r} already closed")
+        self._buffer.append(flight)
+        if len(self._buffer) >= self.chunk_flights:
+            self._flush()
+
+    def close(self, control_spans: Iterable[Any] = ()) -> str:
+        """Flush the tail chunk, append control-plane spans, and seal
+        the file (for perfetto: close the ``traceEvents`` array).
+        Idempotent; returns the path."""
+        if self.closed:
+            return self.path
+        self._flush()
+        if self._handle is None:
+            self._open()  # no flights at all: still produce a valid file
+        for span in control_spans:
+            if self.fmt == "perfetto":
+                args = {"trace": span.trace_id, "span": span.span_id,
+                        "parent": span.parent_id}
+                if span.meta:
+                    args.update(span.meta)
+                self._event({
+                    "ph": "X", "cat": "control", "name": span.name,
+                    "pid": self._pid(span.node), "tid": span.trace_id,
+                    "ts": _us(span.start), "dur": _us(span.duration),
+                    "args": args,
+                })
+            else:
+                self._line({
+                    "kind": "control", "name": span.name,
+                    "node": span.node, "trace": span.trace_id,
+                    "span": span.span_id, "parent": span.parent_id,
+                    "start": span.start, "end": span.end,
+                })
+        if self.fmt == "perfetto":
+            self._handle.write("\n]}\n")
+        self._handle.close()
+        self._handle = None
+        self.closed = True
+        return self.path
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        _ensure_parent(self.path)
+        self._handle = open(self.path, "w")
+        if self.fmt == "perfetto":
+            self._handle.write('{"displayTimeUnit":"ms","traceEvents":[\n')
+
+    def _pid(self, node: str) -> int:
+        pid = self._pids.get(node)
+        if pid is None:
+            pid = len(self._pids)
+            self._pids[node] = pid
+            self._event({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": node or "(global)"},
+            })
+        return pid
+
+    def _event(self, obj: Dict[str, Any]) -> None:
+        text = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+        self._handle.write(text if self._first_event else ",\n" + text)
+        self._first_event = False
+        self.events_written += 1
+
+    def _line(self, obj: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        if self._handle is None:
+            self._open()
+        for flight in self._buffer:
+            if self.fmt == "perfetto":
+                args: Dict[str, Any] = {
+                    "trace": flight.trace_id, "span": flight.root_id,
+                    "status": flight.status,
+                }
+                if flight.meta:
+                    args.update(flight.meta)
+                self._event({
+                    "ph": "X", "cat": "flight", "name": flight.name,
+                    "pid": self._pid(flight.node), "tid": flight.trace_id,
+                    "ts": _us(flight.start), "dur": _us(flight.duration),
+                    "args": args,
+                })
+                for span in flight.spans:
+                    self._event({
+                        "ph": "X", "cat": "stage", "name": span.name,
+                        "pid": self._pid(span.node), "tid": flight.trace_id,
+                        "ts": _us(span.start), "dur": _us(span.duration),
+                        "args": {"trace": span.trace_id,
+                                 "span": span.span_id,
+                                 "parent": span.parent_id},
+                    })
+            else:
+                self._line({
+                    "kind": "flight", "trace": flight.trace_id,
+                    "name": flight.name, "node": flight.node,
+                    "start": flight.start, "end": flight.end,
+                    "status": flight.status,
+                    "stages": [[s.name, s.node, s.start, s.end]
+                               for s in flight.spans],
+                })
+            self.flights_written += 1
+        self._buffer.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FlightStream {self.path!r} fmt={self.fmt} "
+                f"written={self.flights_written} buffered={self.buffered}>")
+
+
 def _ensure_parent(path: str) -> None:
     parent = os.path.dirname(os.path.abspath(path))
     if parent:

@@ -72,13 +72,16 @@ def build_report(
     observer=None,
     tracker=None,
     traffic=None,
+    monitor=None,
 ) -> "ExperimentReport":
     """Compile one run's observation streams into a report.
 
     ``samplers`` are :class:`~repro.obs.sampler.PeriodicSampler`
     instances; ``recorder`` a :class:`~repro.obs.spans.FlightRecorder`;
     ``observer``/``tracker`` the :mod:`repro.obs.routing` collectors;
-    ``traffic`` a :class:`~repro.traffic.FluidTrafficPlane`.
+    ``traffic`` a :class:`~repro.traffic.FluidTrafficPlane`;
+    ``monitor`` a :class:`~repro.obs.live.LiveMonitor` (its section is
+    deterministic: snapshot counts plus sim-keyed watchdog alarms).
     All are optional — absent sections are omitted.
     """
     data: Dict[str, Any] = {
@@ -111,6 +114,8 @@ def build_report(
         data["flights"] = _flight_section(recorder)
     if traffic is not None:
         data["traffic"] = traffic.as_dict()
+    if monitor is not None:
+        data["live"] = monitor.as_dict()
     return ExperimentReport(data)
 
 
@@ -177,6 +182,8 @@ class ExperimentReport:
             lines += self._routing_md(data["routing"])
         if "traffic" in data:
             lines += self._traffic_md(data["traffic"])
+        if "live" in data:
+            lines += self._live_md(data["live"])
         lines += self._metrics_md(data["metrics"])
         if "samplers" in data:
             lines += self._samplers_md(data["samplers"])
@@ -265,6 +272,25 @@ class ExperimentReport:
                 ["link", "sender", "fluid (Mb/s)", "util", "packets (Mb/s)"],
                 [[l["link"], l["sender"], l["fluid_mbps"], l["util"],
                   l["packet_mbps"]] for l in section["links"]],
+            )
+        return lines
+
+    @staticmethod
+    def _live_md(section: Dict[str, Any]) -> List[str]:
+        lines = ["", "## Live monitor", ""]
+        lines.append(
+            "%d feed snapshots every %s sim-seconds; %d watchdog "
+            "alarm(s)." % (
+                section["snapshots"], _num(section["interval"]),
+                len(section["alarms"]),
+            )
+        )
+        if section["alarms"]:
+            lines += ["", "### Watchdog alarms", ""]
+            lines += _table(
+                ["watchdog", "sim t (s)", "events", "action", "detail"],
+                [[a["watchdog"], a["sim_t"], a["events"], a["action"],
+                  a["detail"]] for a in section["alarms"]],
             )
         return lines
 

@@ -174,6 +174,11 @@ class FlightRecorder:
         ``"all"`` (unbounded — capacity ignored), ``"head"`` (first N),
         ``"tail"`` (last N, true ring buffer), or ``"slowest"``
         (N largest end-to-end durations).
+    stream:
+        Optional :class:`repro.obs.export.FlightStream`. Every completed
+        flight is handed to it *before* retention applies, so the
+        streamed trace is complete even when ``capacity`` keeps almost
+        nothing in memory. Finalize with :meth:`close_stream`.
 
     Ids (trace and span) are small deterministic integers drawn from
     recorder-local counters, so same-seed runs export byte-identical
@@ -182,7 +187,8 @@ class FlightRecorder:
 
     enabled = True
 
-    def __init__(self, sim, capacity: int = 1024, policy: str = "tail"):
+    def __init__(self, sim, capacity: int = 1024, policy: str = "tail",
+                 stream=None):
         if policy not in RETENTION_POLICIES:
             raise ValueError(
                 f"unknown retention policy {policy!r}; "
@@ -213,11 +219,20 @@ class FlightRecorder:
         self.flights_started = 0
         self.flights_completed = 0
         self.flights_evicted = 0
+        self.stream = stream
 
     def install(self) -> "FlightRecorder":
         """Make this recorder the simulator's ``sim.flight``."""
         self.sim.flight = self
         return self
+
+    def close_stream(self):
+        """Finalize the attached :class:`FlightStream` (flush the tail
+        chunk and append control-plane spans). No-op without a stream;
+        returns the streamed path, or ``None``."""
+        if self.stream is None:
+            return None
+        return self.stream.close(self.control_spans())
 
     # ------------------------------------------------------------------
     # Data plane: flights
@@ -319,6 +334,8 @@ class FlightRecorder:
         flight.end = now
         flight.status = status
         self.flights_completed += 1
+        if self.stream is not None:
+            self.stream.add(flight)
         self._retain(flight)
 
     def _retain(self, flight: Flight) -> None:
@@ -453,6 +470,9 @@ class NullFlightRecorder:
 
     def install(self):  # pragma: no cover - symmetry with FlightRecorder
         return self
+
+    def close_stream(self):
+        return None
 
     def flight_begin(self, packet, name, node="", stage="origin", **meta):
         return None

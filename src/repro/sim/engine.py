@@ -233,6 +233,10 @@ class Simulator:
         # Installed Profiler, or None. Hot loops hoist this into a
         # local, so (un)installing takes effect at the next run()/step().
         self._profiler = None
+        # Wall-clock hook for repro.obs.live: polled between dispatch
+        # passes; returns how many passes to skip before the next poll.
+        # Uninstalled cost is one attribute load + None test per pass.
+        self._live_hook = None
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
@@ -635,7 +639,15 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         prof = self._profiler
+        hook_wait = 0
         while heap and not self._stopped:
+            hook = self._live_hook
+            if hook is not None:
+                hook_wait -= 1
+                if hook_wait <= 0:
+                    hook_wait = hook()
+                    if self._stopped:
+                        return
             entry = heap[0]
             event = entry[2]
             if event.cancelled:
@@ -675,7 +687,15 @@ class Simulator:
         bound = float("inf") if until is None else until
         bound_slot = None if until is None else int(until * inv)
         prof = self._profiler
+        hook_wait = 0
         while not self._stopped:
+            hook = self._live_hook
+            if hook is not None:
+                hook_wait -= 1
+                if hook_wait <= 0:
+                    hook_wait = hook()
+                    if self._stopped:
+                        return
             # Drop dead heap / soon heads so each head is a live lower
             # bound.
             while heap and heap[0][2].cancelled:
@@ -964,6 +984,14 @@ class Simulator:
                             cand.fn(*cand.args)
                         else:
                             prof.dispatch(cand)
+                        # A self-feeding call_soon storm never leaves
+                        # this merge loop, so the live hook must also
+                        # poll here (stop() from an abort sets
+                        # _disturbed, caught just below).
+                        if hook is not None:
+                            hook_wait -= 1
+                            if hook_wait <= 0:
+                                hook_wait = hook()
                         if self._disturbed:
                             self._disturbed = False
                             if self._stopped:

@@ -2,7 +2,14 @@
 
 import json
 
-from benchmarks.check_regression import DEFAULT_METRICS, check, load_rows, main
+from benchmarks.check_regression import (
+    DEFAULT_METRICS,
+    check,
+    load_rows,
+    main,
+    numeric_leaves,
+    trend,
+)
 
 
 def _row(commit, wheel, far=None, scale=0.1):
@@ -59,6 +66,42 @@ def test_metric_missing_from_current_fails():
     rows = [_row("aaa", 1_000_000.0, 2_000_000.0),
             {"commit": "bbb", "events_per_sec": {"wheel": 1_000_000.0}}]
     assert check(rows, DEFAULT_METRICS, 0.15) == 1
+
+
+def test_numeric_leaves_flattens_and_skips_stamp():
+    row = {"commit": "aaa", "timestamp": "t", "python": "3.12", "scale": 0.1,
+           "events_per_sec": {"wheel": 1_000_000.0, "legacy": 400_000},
+           "wall_s": 12.5, "note": "text ignored"}
+    leaves = numeric_leaves(row)
+    assert leaves == {"events_per_sec.wheel": 1_000_000.0,
+                      "events_per_sec.legacy": 400_000.0,
+                      "wall_s": 12.5}
+
+
+def test_trend_prints_every_cell_even_on_pass(tmp_path, capsys):
+    path = str(tmp_path / "TRAJECTORY_core.jsonl")
+    _write(path, [_row("aaa", 1_000_000.0, 2_000_000.0),
+                  _row("bbb", 950_000.0, 2_000_000.0)])  # -5%: passes
+    assert main(["--trajectory", path]) == 0
+    out = capsys.readouterr().out
+    assert "trend events_per_sec.wheel: 1e+06 -> 950000 (-5.0%)" in out
+    assert "trend far_events_per_sec.wheel: 2e+06 -> 2e+06 (+0.0%)" in out
+
+
+def test_trend_marks_new_and_missing_cells(capsys):
+    rows = [{"commit": "aaa", "events_per_sec": {"wheel": 1_000_000.0},
+             "old_cell": 5.0},
+            {"commit": "bbb", "events_per_sec": {"wheel": 1_000_000.0},
+             "new_cell": 7.0}]
+    trend(rows)
+    out = capsys.readouterr().out
+    assert "trend new_cell: (new) -> 7" in out
+    assert "trend old_cell: 5 -> (missing)" in out
+
+
+def test_trend_noop_without_baseline(capsys):
+    trend([_row("aaa", 1_000_000.0)])
+    assert capsys.readouterr().out == ""
 
 
 def test_corrupt_lines_are_skipped(tmp_path):

@@ -224,6 +224,56 @@ class TestNAPT:
         napt.close()
         assert node.vnet.lookup(PROTO_UDP, public_port) is None
 
+    def test_flight_span_carried_across_napt(self, world):
+        """A spanned packet keeps its flight identity through the NAT:
+        the fresh return packet (span=None, the external host knows
+        nothing of tracing) rejoins the same trace at ingress."""
+        from repro.obs.spans import FlightRecorder
+
+        sim, node, router, napt, out_sink, in_sink = self.build(world)
+        recorder = FlightRecorder(sim).install()
+        pkt = Packet(
+            headers=[
+                IPv4Header("10.1.87.2", "64.236.16.20", PROTO_TCP),
+                TCPHeader(5555, 80),
+            ],
+            payload=OpaquePayload(100),
+        )
+        ctx = recorder.flight_begin(pkt, "web_fetch", node=node.name)
+        napt.push(0, pkt)
+        (sent,) = out_sink.packets
+        assert sent.span is ctx  # uniqueify kept the shared context
+        public_port = sent.tcp.sport
+        reply = Packet(
+            headers=[
+                IPv4Header("64.236.16.20", "198.51.100.1", PROTO_TCP),
+                TCPHeader(80, public_port),
+            ],
+            payload=OpaquePayload(500),
+        )
+        assert reply.span is None
+        napt.push(1, reply)
+        (back,) = in_sink.packets
+        assert back.span is ctx  # reply leg rejoined the flight
+        recorder.flight_end(back, node=node.name)
+        (flight,) = recorder.flights()
+        assert flight.status == "ok"
+        # Both NAT traversals staged into the one flight.
+        stages = [name for name, _node, _d in flight.stage_durations()]
+        assert stages.count("click.napt") == 2
+
+    def test_napt_spans_not_tracked_when_recorder_disabled(self, world):
+        sim, node, router, napt, out_sink, in_sink = self.build(world)
+        pkt = Packet(
+            headers=[
+                IPv4Header("10.1.87.2", "64.236.16.20", PROTO_TCP),
+                TCPHeader(5555, 80),
+            ],
+            payload=OpaquePayload(100),
+        )
+        napt.push(0, pkt)
+        assert napt._spans == {}  # no recorder: zero bookkeeping
+
     def test_icmp_not_translated(self, world):
         sim, node, router, napt, out_sink, in_sink = self.build(world)
         from repro.net.packet import ICMPHeader, PROTO_ICMP

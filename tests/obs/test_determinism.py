@@ -65,11 +65,21 @@ def _serialize(sim) -> str:
     )
 
 
-def _fig8_trace(metrics_enabled: bool):
+def _fig8_trace(metrics_enabled: bool, live: bool = False):
     old = MetricsRegistry.default_enabled
     MetricsRegistry.default_enabled = metrics_enabled
     try:
         vini, exp = build_abilene_iias(seed=8)
+        if live:
+            import io
+
+            from repro.obs import LiveMonitor, LivelockWatchdog, StallWatchdog
+
+            monitor = LiveMonitor(vini.sim, interval=1.0, feed=io.StringIO())
+            monitor.watch_engine().watch_queues().watch_cpu()
+            monitor.add_watchdog(StallWatchdog(budget_s=600.0, action="mark"))
+            monitor.add_watchdog(LivelockWatchdog(action="mark"))
+            monitor.install()
         exp.run(until=WARMUP)
         plan = FaultPlan("fig8").fail_link(
             10.0, "denver", "kansascity", duration=24.0
@@ -82,6 +92,8 @@ def _fig8_trace(metrics_enabled: bool):
             interval=0.5, count=44,
         ).start()
         vini.run(until=WARMUP + 25.0)
+        if live:
+            monitor.stop()
         return _serialize(vini.sim), len(vini.sim.metrics)
     finally:
         MetricsRegistry.default_enabled = old
@@ -100,6 +112,49 @@ def test_disabled_registry_leaves_golden_fig8_trace_unchanged():
     # pre-instrumentation runs.
     assert "rib_change" not in enabled_trace
     assert "bgp_mux" not in enabled_trace
+
+
+def test_live_monitor_leaves_golden_fig8_trace_unchanged():
+    """A LiveMonitor is passive at the trace layer: its periodic
+    snapshot events read probes but never write trace records, so a
+    monitored run replays the golden Fig-8 trace byte-identically —
+    and with a disabled registry it registers zero ``live.*``
+    instruments on top of zero everything else."""
+    baseline_trace, _ = _fig8_trace(True)
+    live_trace, live_count = _fig8_trace(False, live=True)
+    assert live_count == 0  # disabled registry: no live.* instruments
+    assert live_trace == baseline_trace
+
+
+def test_fig8_world_registers_no_live_or_traffic_instruments():
+    """The Fig-8 scenario installs neither the live layer nor a fluid
+    traffic plane, so none of their instrument families may leak into
+    the registry (the coverage gap PR 8 left for ``traffic.*``)."""
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = True
+    try:
+        vini, exp = build_abilene_iias(seed=8)
+        exp.run(until=WARMUP)
+        names = {row["name"] for row in vini.sim.metrics.collect()}
+    finally:
+        MetricsRegistry.default_enabled = old
+    assert names, "expected an instrumented world"
+    leaked = {n for n in names
+              if n.startswith("live.") or n.startswith("traffic.")}
+    assert leaked == set()
+
+
+def test_traffic_plane_registers_nothing_when_registry_disabled():
+    from repro.traffic import FluidTrafficPlane
+
+    old = MetricsRegistry.default_enabled
+    MetricsRegistry.default_enabled = False
+    try:
+        vini = build_deter(seed=5)
+        FluidTrafficPlane(vini)
+        assert len(vini.sim.metrics) == 0
+    finally:
+        MetricsRegistry.default_enabled = old
 
 
 # ----------------------------------------------------------------------
