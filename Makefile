@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test tier2-bench-smoke bench profile flight report watch
+.PHONY: test tier2-bench-smoke bench profile flight report watch explain
 
 # Tier-1: the full unit/integration suite.
 test:
@@ -35,6 +35,16 @@ flight:
 # installed, compiled to deterministic Markdown + JSON.
 report:
 	$(PYTHON) -m repro.obs.report --out benchmarks/results/fig8_report
+
+# Cross-run analysis: build a fully-instrumented Fig-8 RunArchive
+# (trace spill + live feed + flights + sampler series + report, all
+# manifest-hashed) under benchmarks/results/archives/fig8, then walk
+# the causal chain: fault -> convergence episode -> blackhole windows
+# -> affected flights. `python -m repro.obs.query diff A B` compares
+# two such archives record by record.
+explain:
+	$(PYTHON) -m repro.obs.query fig8 benchmarks/results/archives/fig8
+	$(PYTHON) -m repro.obs.query explain benchmarks/results/archives/fig8
 
 # Live observatory: the Fig-8 failover under repro.obs.live — TTY
 # status line + deterministic JSONL feed + watchdogs + streaming

@@ -39,7 +39,8 @@ for _path in (_ROOT, os.path.join(_ROOT, "src")):
 from benchmarks import bench_core_engine as core  # noqa: E402
 from benchmarks import bench_internet_zoo as zoo  # noqa: E402
 from benchmarks import bench_traffic_plane as traffic  # noqa: E402
-from repro.obs import BenchTrajectory, detect_commit  # noqa: E402
+from repro.obs import BenchTrajectory, RunArchive, detect_commit  # noqa: E402
+from repro.obs.archive import MANIFEST_NAME, load_manifest  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 DEFAULT_ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_core.json")
@@ -78,6 +79,14 @@ def cell_feed_path(spec: dict) -> str:
     )
 
 
+def cell_archive_root(spec: dict) -> str:
+    """The per-cell RunArchive directory under ``archive_dir``."""
+    return os.path.join(
+        spec["archive_dir"],
+        "{bench}_{config}_{seed}".format(**spec),
+    )
+
+
 def run_cell(spec: dict) -> dict:
     """Execute one cell. Top-level so Pool workers can pickle it.
 
@@ -87,20 +96,76 @@ def run_cell(spec: dict) -> dict:
     figure benches) streams a per-cell live JSONL feed there. The raw
     engine/packet/lookup microbenches drive a bare ``Simulator`` and
     stay feed-less by design.
+
+    With ``archive_dir`` in the spec, the cell gets a
+    :class:`~repro.obs.archive.RunArchive` under
+    ``<archive_dir>/<bench>_<config>_<seed>/``: scenario cells attach
+    it through ``REPRO_RUN_ARCHIVE`` (their artifacts self-register),
+    and every cell — microbenches included — lands its deterministic
+    result as a ``cell.json`` artifact. The manifest path and content
+    hashes ride back in the cell dict, so ``BENCH_core.json`` rows are
+    tied to concrete, diffable artifacts (``repro.obs.query diff``).
     """
     fn = BENCHES[spec["bench"]][0]
     live_dir = spec.get("live_dir")
+    archive_dir = spec.get("archive_dir")
     if live_dir:
         os.makedirs(live_dir, exist_ok=True)
         os.environ["REPRO_LIVE_FEED"] = cell_feed_path(spec)
+    if archive_dir:
+        os.environ["REPRO_RUN_ARCHIVE"] = cell_archive_root(spec)
     try:
         result = fn(spec["config"], spec["seed"], spec["scale"])
     finally:
         if live_dir:
             os.environ.pop("REPRO_LIVE_FEED", None)
+        if archive_dir:
+            os.environ.pop("REPRO_RUN_ARCHIVE", None)
     merged = dict(spec, **result)
     merged.pop("live_dir", None)  # per-invocation knob, not cell data
+    merged.pop("archive_dir", None)
+    if archive_dir:
+        merged["archive"] = _archive_cell(spec, result)
     return merged
+
+
+def _archive_cell(spec: dict, result: dict) -> dict:
+    """Fold one cell's deterministic result into its RunArchive and
+    return the manifest reference recorded in ``BENCH_core.json``.
+
+    ``perf`` (wall-clock) stays out of ``cell.json`` so a same-seed
+    re-run hashes identically; the perf numbers live only in the
+    trajectory artifact.
+    """
+    root = cell_archive_root(spec)
+    manifest_path = os.path.join(root, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        archive = RunArchive.from_manifest(manifest_path)
+    else:
+        archive = RunArchive(
+            root,
+            name="{bench}_{config}_{seed}".format(**spec),
+            meta={"seed": spec["seed"], "commit": detect_commit(_ROOT)},
+        )
+    payload = {
+        "bench": spec["bench"],
+        "config": spec["config"],
+        "seed": spec["seed"],
+        "scale": spec["scale"],
+    }
+    payload.update(
+        (key, value) for key, value in result.items() if key != "perf"
+    )
+    archive.add_json("cell.json", payload, kind="bench_cell")
+    archive.write()
+    manifest = load_manifest(manifest_path)
+    return {
+        "manifest": os.path.relpath(manifest_path, _ROOT),
+        "artifacts": {
+            name: entry["sha256"]
+            for name, entry in sorted(manifest["artifacts"].items())
+        },
+    }
 
 
 def run_cells(cells: List[dict], workers: int = 1, watch: bool = False) -> List[dict]:
@@ -274,6 +339,11 @@ def main(argv=None) -> int:
                         help="write a per-cell live JSONL feed "
                              "(<bench>_<config>_<seed>.jsonl) into DIR for "
                              "every scenario cell")
+    parser.add_argument("--archive-dir", default=None, metavar="DIR",
+                        help="write a per-cell RunArchive "
+                             "(<bench>_<config>_<seed>/manifest.json) into "
+                             "DIR and record manifest paths + artifact "
+                             "hashes in BENCH_core.json")
     args = parser.parse_args(argv)
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
@@ -282,6 +352,9 @@ def main(argv=None) -> int:
     if args.live_dir:
         for cell in cells:
             cell["live_dir"] = args.live_dir
+    if args.archive_dir:
+        for cell in cells:
+            cell["archive_dir"] = args.archive_dir
     print(f"running {len(cells)} cells across {args.workers} worker(s) "
           f"(scale={args.scale}) ...")
     start = time.perf_counter()
@@ -335,9 +408,17 @@ def main(argv=None) -> int:
         trajectory = BenchTrajectory(
             name="core", results_dir=os.path.dirname(args.out) or RESULTS_DIR
         )
+        archives = {
+            "{bench}_{config}_{seed}".format(**cell): cell["archive"]["manifest"]
+            for cell in results
+            if "archive" in cell
+        }
+        extra = {"python": platform.python_version(), "scale": args.scale,
+                 "wall_s": round(wall, 3)}
+        if archives:
+            extra["archives"] = archives
         row = trajectory.append(
-            dict(summary, python=platform.python_version(), scale=args.scale,
-                 wall_s=round(wall, 3)),
+            dict(summary, **extra),
             commit=entry["commit"],
             timestamp=entry["timestamp"],
         )

@@ -161,10 +161,17 @@ class Experiment:
 
     def run(self, until: Optional[float] = None) -> float:
         self.start()
+        archive = None
+        if os.environ.get("REPRO_RUN_ARCHIVE"):
+            from repro.obs.archive import maybe_attach_env_archive
+            archive = maybe_attach_env_archive(self.sim, experiment=self)
         if os.environ.get("REPRO_LIVE_FEED"):
             from repro.obs.live import maybe_attach_env_monitor
             maybe_attach_env_monitor(self.sim, until=until)
-        return self.sim.run(until=until)
+        result = self.sim.run(until=until)
+        if archive is not None:
+            archive.write()
+        return result
 
     def timetable(self) -> List[Tuple[float, str]]:
         """The experiment specification as (time, label) rows."""

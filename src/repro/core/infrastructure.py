@@ -154,10 +154,17 @@ class VINI:
         return list(self._slices.values())
 
     def run(self, until: Optional[float] = None) -> float:
+        archive = None
+        if os.environ.get("REPRO_RUN_ARCHIVE"):
+            from repro.obs.archive import maybe_attach_env_archive
+            archive = maybe_attach_env_archive(self.sim)
         if os.environ.get("REPRO_LIVE_FEED"):
             from repro.obs.live import maybe_attach_env_monitor
             maybe_attach_env_monitor(self.sim, until=until)
-        return self.sim.run(until=until)
+        result = self.sim.run(until=until)
+        if archive is not None:
+            archive.write()
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<VINI nodes={len(self.nodes)} links={len(self.links)} slices={len(self._slices)}>"

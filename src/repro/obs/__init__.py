@@ -35,6 +35,15 @@ first-class layer instead of ad-hoc trace scans:
   feed, a wall-clock TTY status line, and the :class:`Watchdog` layer
   (stall / livelock / rate alarms). ``python -m repro.obs.live`` (or
   ``make watch``) is the Fig-8 live observatory.
+* :mod:`repro.obs.archive` — :class:`RunArchive`, the per-run manifest
+  (seed, config signature, commit, content hash per artifact) every
+  artifact writer registers into; ``REPRO_RUN_ARCHIVE`` attaches one
+  through ``Experiment.run``/``VINI.run`` with zero wiring.
+* :mod:`repro.obs.query` — the cross-run analysis engine: lazy
+  :class:`Table` streams over every artifact kind, archive-vs-archive
+  first-divergence diffing, and the fault -> episode -> flights causal
+  "explain" chain. ``python -m repro.obs.query`` (or ``make explain``)
+  is the CLI.
 
 Nothing in this package imports :mod:`repro.sim` at module level: the
 engine imports the registry and the null flight recorder, so the
@@ -42,6 +51,16 @@ dependency must stay one-way (the profiler's timer-unwrapping does a
 lazy import inside the call).
 """
 
+from repro.obs.archive import (
+    RunArchive,
+    config_signature,
+    experiment_signature,
+    load_manifest,
+    maybe_attach_env_archive,
+    note_artifact,
+    resolve_artifact,
+    sha256_file,
+)
 from repro.obs.export import (
     BenchTrajectory,
     FlightStream,
@@ -116,21 +135,29 @@ __all__ = [
     "Profiler",
     "RateWatchdog",
     "RoutingObserver",
+    "RunArchive",
     "Span",
     "SpanContext",
     "StallWatchdog",
     "Watchdog",
     "build_report",
+    "config_signature",
     "detect_commit",
     "episodes_from_trace",
+    "experiment_signature",
     "export_csv",
     "export_jsonl",
     "export_perfetto",
     "export_series_csv",
+    "load_manifest",
     "log_buckets",
+    "maybe_attach_env_archive",
     "maybe_attach_env_monitor",
+    "note_artifact",
     "perfetto_events",
     "perfetto_json",
     "registry_csv",
     "registry_jsonl",
+    "resolve_artifact",
+    "sha256_file",
 ]

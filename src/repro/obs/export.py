@@ -73,11 +73,19 @@ def registry_jsonl(registry, extra: Optional[Dict[str, Any]] = None) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _note(sim, path: str, kind: str) -> None:
+    """Register an exported file with ``sim``'s RunArchive, if any."""
+    if sim is not None:
+        from repro.obs.archive import note_artifact
+        note_artifact(sim, path, kind)
+
+
 def export_jsonl(registry, path: str, extra: Optional[Dict[str, Any]] = None) -> str:
     text = registry_jsonl(registry, extra)
     _ensure_parent(path)
     with open(path, "w") as handle:
         handle.write(text)
+    _note(registry.sim, path, "metrics_jsonl")
     return path
 
 
@@ -101,6 +109,7 @@ def export_csv(registry, path: str) -> str:
     _ensure_parent(path)
     with open(path, "w") as handle:
         handle.write(text)
+    _note(registry.sim, path, "metrics_csv")
     return path
 
 
@@ -118,6 +127,7 @@ def export_series_csv(sampler, path: str, keys: Optional[Iterable[str]] = None) 
                     writer.writerow([key, repr(t), "", value[0], repr(value[1])])
                 else:
                     writer.writerow([key, repr(t), repr(value), "", ""])
+    _note(sampler.sim, path, "sampler_csv")
     return path
 
 
@@ -208,6 +218,7 @@ def export_perfetto(recorder, path: str) -> str:
     _ensure_parent(path)
     with open(path, "w") as handle:
         handle.write(text)
+    _note(recorder.sim, path, "flight_perfetto")
     return path
 
 

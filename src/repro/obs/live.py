@@ -375,6 +375,15 @@ class LiveMonitor:
         self.poll_stride = poll_stride
         self._clock = clock
         self._status = status
+        # \r-rewriting is for terminals only. When the status target is
+        # not a TTY (piped --watch output, redirected logs) the live
+        # refreshes are suppressed entirely and only final
+        # newline-terminated lines are written, so logs never collect
+        # carriage returns or erase sequences.
+        try:
+            self._status_tty = bool(status is not None and status.isatty())
+        except (AttributeError, ValueError):
+            self._status_tty = False
         self.feed: Optional[JsonlFeed] = None
         self._feed_target = feed
         self._probes: List[tuple] = []  # (key, fn), insertion-ordered
@@ -479,6 +488,9 @@ class LiveMonitor:
                 "interval": self.interval,
                 "seed": self.sim.seed,
             })
+            if self.feed.path:
+                from repro.obs.archive import note_artifact
+                note_artifact(self.sim, self.feed.path, "live_feed")
         metrics = self.sim.metrics
         if metrics.enabled:
             labels = dict(monitor=self.name)
@@ -593,6 +605,15 @@ class LiveMonitor:
         return " ".join(parts)
 
     def _refresh_status(self, wall_now: float, newline: bool = False) -> None:
+        if not self._status_tty:
+            # Non-TTY target: no in-place refreshes, only the final
+            # (newline) line, as a plain log line.
+            if not newline:
+                return
+            self.status_refreshes += 1
+            self._status.write(self.status_line(wall_now) + "\n")
+            self._status.flush()
+            return
         self.status_refreshes += 1
         line = self.status_line(wall_now)
         end = "\n" if newline else ""
@@ -783,7 +804,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "is not a terminal)")
     args = parser.parse_args(argv)
 
-    headless = args.headless or not sys.stderr.isatty()
+    # Headless whenever either stream is piped: a non-TTY stdout means
+    # the run's output is being captured, and interleaving a status
+    # line (even on stderr) with captured logs helps nobody.
+    headless = (args.headless or not sys.stderr.isatty()
+                or not sys.stdout.isatty())
     summary = run_fig8_watch(
         args.out, seed=args.seed, feed_interval=args.interval,
         headless=headless,

@@ -232,7 +232,12 @@ class FlightRecorder:
         returns the streamed path, or ``None``."""
         if self.stream is None:
             return None
-        return self.stream.close(self.control_spans())
+        path = self.stream.close(self.control_spans())
+        from repro.obs.archive import note_artifact
+        note_artifact(self.sim, path,
+                      "flight_perfetto" if self.stream.fmt == "perfetto"
+                      else "flight_jsonl")
+        return path
 
     # ------------------------------------------------------------------
     # Data plane: flights

@@ -1002,6 +1002,14 @@ class Simulator:
                                 dirty = 1 if cursor == cur else 2
                                 break
                 if not dirty:
+                    if event.cancelled:
+                        # A merged heap/soon callback cancelled this
+                        # event mid-batch. cancel() already freed it
+                        # and dropped the live counter; dispatching
+                        # now would advance the clock to a corpse's
+                        # time and double-decrement _live.
+                        i += 1
+                        continue
                     if check_bound and time > bound:
                         self._pushback(live, i, ring_slot, cur)
                         return

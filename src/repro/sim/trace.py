@@ -22,8 +22,20 @@ first.
 
 from __future__ import annotations
 
+import os
 import struct
-from typing import Any, BinaryIO, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    BinaryIO,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 #: Kinds that intern *disabled*: per-packet record streams nobody reads
 #: unless a monitor (e.g. the faults invariant checker) explicitly calls
@@ -228,6 +240,9 @@ class TraceCollector:
             for record in records:
                 _write_record(handle, record, kinds, names)
         self.clear()
+        archive = getattr(self._sim, "_run_archive", None)
+        if archive is not None:
+            archive.note(path, "trace_spill")
         return count
 
     def __len__(self) -> int:
@@ -335,11 +350,66 @@ def _read_value(handle: BinaryIO) -> Any:
     raise ValueError(f"unknown spill value tag 0x{tag:02x}")
 
 
-def read_spill(path: str) -> List[TraceRecord]:
-    """Load a :meth:`TraceCollector.spill_to` file back into records."""
-    kinds: Dict[int, str] = {}
-    names: Dict[int, str] = {}
-    records: List[TraceRecord] = []
+def _skip_value(handle: BinaryIO, size: int) -> None:
+    """Advance past one tagged value without decoding it.
+
+    Length-prefixed payloads are skipped with a bounds-checked seek, so
+    projection over a spill never materializes unwanted strings — but a
+    truncated file still raises the same ``ValueError`` a full decode
+    would.
+    """
+    tag = _read_exact(handle, 1)[0]
+    if tag in (0x10, 0x12):
+        skip = 8
+    elif tag == 0x14:
+        skip = 1
+    elif tag == 0x15:
+        return
+    elif tag in (0x11, 0x13, 0x16):
+        (skip,) = _S_U32.unpack(_read_exact(handle, 4))
+    else:
+        raise ValueError(f"unknown spill value tag 0x{tag:02x}")
+    target = handle.tell() + skip
+    if target > size:
+        raise ValueError(
+            f"truncated spill file: wanted {skip} bytes, "
+            f"got {max(0, size - handle.tell())}"
+        )
+    handle.seek(target)
+
+
+def iter_spill(
+    path: str,
+    kinds: Optional[Union[str, Iterable[str]]] = None,
+    fields: Optional[Union[str, Iterable[str]]] = None,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> Iterator[TraceRecord]:
+    """Lazily stream a :meth:`TraceCollector.spill_to` file.
+
+    The columnar fast path for :mod:`repro.obs.query`: records are
+    yielded one at a time (peak memory is one record, not the file),
+    and the filters push *down* into the decoder —
+
+    * ``kinds`` (a name or iterable of names) and the ``[t0, t1)``
+      sim-time window are checked from the fixed-size record header;
+      non-matching records are skipped with seeks, their field values
+      never decoded;
+    * ``fields`` projects each surviving record to the named columns,
+      seeking past every other value.
+
+    Truncated files raise ``ValueError`` exactly as a full decode
+    would, at the same prefix of yielded records.
+    """
+    if isinstance(kinds, str):
+        kinds = (kinds,)
+    want_kinds = None if kinds is None else frozenset(kinds)
+    if isinstance(fields, str):
+        fields = (fields,)
+    want_fields = None if fields is None else frozenset(fields)
+    size = os.path.getsize(path)
+    kind_table: Dict[int, str] = {}
+    name_table: Dict[int, str] = {}
     with open(path, "rb") as handle:
         if _read_exact(handle, len(_SPILL_MAGIC)) != _SPILL_MAGIC:
             raise ValueError(f"{path!r} is not a trace spill file")
@@ -352,14 +422,34 @@ def read_spill(path: str) -> List[TraceRecord]:
                 (index,) = _S_U16.unpack(_read_exact(handle, 2))
                 (length,) = _S_U16.unpack(_read_exact(handle, 2))
                 text = _read_exact(handle, length).decode("utf-8")
-                (kinds if tag == 0x01 else names)[index] = text
+                (kind_table if tag == 0x01 else name_table)[index] = text
             elif tag == 0x03:
-                time, kind_idx, nfields = struct.unpack("<dHH", _read_exact(handle, 12))
-                fields = {}
+                time, kind_idx, nfields = struct.unpack(
+                    "<dHH", _read_exact(handle, 12)
+                )
+                kind = kind_table[kind_idx]
+                if (
+                    (want_kinds is not None and kind not in want_kinds)
+                    or (t0 is not None and time < t0)
+                    or (t1 is not None and time >= t1)
+                ):
+                    for _ in range(nfields):
+                        _read_exact(handle, 2)
+                        _skip_value(handle, size)
+                    continue
+                record_fields: Dict[str, Any] = {}
                 for _ in range(nfields):
                     (name_idx,) = _S_U16.unpack(_read_exact(handle, 2))
-                    fields[names[name_idx]] = _read_value(handle)
-                records.append(TraceRecord(time, kinds[kind_idx], fields))
+                    name = name_table[name_idx]
+                    if want_fields is None or name in want_fields:
+                        record_fields[name] = _read_value(handle)
+                    else:
+                        _skip_value(handle, size)
+                yield TraceRecord(time, kind, record_fields)
             else:
                 raise ValueError(f"unknown spill frame tag 0x{tag:02x}")
-    return records
+
+
+def read_spill(path: str) -> List[TraceRecord]:
+    """Load a :meth:`TraceCollector.spill_to` file back into records."""
+    return list(iter_spill(path))

@@ -19,7 +19,8 @@ from repro.phys.node import PhysicalNode
 from repro.phys.process import Process
 from repro.phys.vserver import Sliver
 
-_next_ident = [1000]
+#: First ICMP ident handed out per simulator (see ``Ping.__init__``).
+_IDENT_BASE = 1000
 SEND_COST = 5.0e-6
 
 
@@ -83,8 +84,13 @@ class Ping:
         self.count = count
         self.payload = payload
         self.timeout = timeout
-        _next_ident[0] += 1
-        self.ident = _next_ident[0]
+        # The ident counter is per-simulator, not process-global:
+        # uniqueness only matters within one sim (icmp_register keys on
+        # it), and a per-sim counter keeps same-seed runs byte-identical
+        # even when built back to back in one process (the cross-run
+        # diff engine asserts this).
+        self.ident = getattr(self.sim, "_ping_next_ident", _IDENT_BASE) + 1
+        self.sim._ping_next_ident = self.ident
         self.src = sliver.tap.address if sliver is not None and sliver.tap else None
         self.transmitted = 0
         self.received = 0

@@ -110,3 +110,101 @@ def test_corrupt_lines_are_skipped(tmp_path):
         handle.write("{not json\n")
         handle.write(json.dumps(_row("aaa", 1_000_000.0)) + "\n")
     assert len(load_rows(path)) == 1
+
+
+# ----------------------------------------------------------------------
+# Archive-backed attribution on REGRESSION verdicts
+# ----------------------------------------------------------------------
+def _fixture_archive(root, payload):
+    """Write a minimal repro.archive/1 tree: cell.json + manifest."""
+    import hashlib
+    import os
+
+    os.makedirs(root, exist_ok=True)
+    cell = os.path.join(root, "cell.json")
+    with open(cell, "w") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    digest = hashlib.sha256(open(cell, "rb").read()).hexdigest()
+    manifest = {
+        "schema": "repro.archive/1",
+        "name": os.path.basename(root),
+        "meta": {"seed": 0},
+        "artifacts": {
+            "cell.json": {"path": "cell.json", "kind": "bench_cell",
+                          "bytes": os.path.getsize(cell), "sha256": digest},
+        },
+    }
+    path = os.path.join(root, "manifest.json")
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, sort_keys=True)
+    return path
+
+
+def _archived_rows(tmp_path, base_payload, cur_payload,
+                   base_rate=1_000_000.0, cur_rate=700_000.0):
+    man_a = _fixture_archive(
+        str(tmp_path / "base" / "engine_wheel_0"), base_payload)
+    man_b = _fixture_archive(
+        str(tmp_path / "cur" / "engine_wheel_0"), cur_payload)
+    return [
+        dict(_row("aaa", base_rate), archives={"engine_wheel_0": man_a}),
+        dict(_row("bbb", cur_rate), archives={"engine_wheel_0": man_b}),
+    ]
+
+
+def test_regression_attribution_names_top_shifted_metrics(
+        tmp_path, capsys):
+    """A synthetic >15% drop with archives on both rows prints the
+    archive-backed attribution: which artifacts changed and which
+    cell.json leaves shifted most."""
+    rows = _archived_rows(
+        tmp_path,
+        {"metrics": {"dispatch_batches": 5000, "events": 100000,
+                     "cascades": 10}},
+        {"metrics": {"dispatch_batches": 9000, "events": 100000,
+                     "cascades": 11}},
+    )
+    assert check(rows, ("events_per_sec.wheel",), 0.15) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "attribution engine_wheel_0: 1 artifact(s) changed" in out
+    assert "shifted metrics.dispatch_batches: 5000 -> 9000 (+80.0%)" in out
+    assert "shifted metrics.cascades: 10 -> 11 (+10.0%)" in out
+    # The biggest relative shift is named first.
+    assert out.index("dispatch_batches") < out.index("cascades")
+
+
+def test_attribution_identical_artifacts_blame_the_machine(
+        tmp_path, capsys):
+    payload = {"metrics": {"dispatch_batches": 5000}}
+    rows = _archived_rows(tmp_path, payload, payload)
+    assert check(rows, ("events_per_sec.wheel",), 0.15) == 1
+    out = capsys.readouterr().out
+    assert "artifacts byte-identical" in out
+    assert "wall-clock-only regression" in out
+
+
+def test_attribution_without_archives_points_at_archive_dir(capsys):
+    rows = [_row("aaa", 1_000_000.0), _row("bbb", 700_000.0)]
+    assert check(rows, ("events_per_sec.wheel",), 0.15) == 1
+    out = capsys.readouterr().out
+    assert "no archives recorded" in out and "--archive-dir" in out
+
+
+def test_attribution_handles_missing_archive_on_disk(tmp_path, capsys):
+    rows = _archived_rows(
+        tmp_path,
+        {"metrics": {"x": 1}}, {"metrics": {"x": 2}},
+    )
+    rows[0]["archives"]["engine_wheel_0"] = str(
+        tmp_path / "gone" / "manifest.json")
+    assert check(rows, ("events_per_sec.wheel",), 0.15) == 1
+    out = capsys.readouterr().out
+    assert "baseline archive missing" in out
+
+
+def test_archives_key_is_not_a_trend_cell():
+    row = dict(_row("aaa", 1_000_000.0),
+               archives={"engine_wheel_0": "x/manifest.json"})
+    assert all(not key.startswith("archives")
+               for key in numeric_leaves(row))

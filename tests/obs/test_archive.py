@@ -1,0 +1,172 @@
+"""Tests for run archives: manifests, signatures, the writer hooks."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.obs.archive import (
+    ARCHIVE_SCHEMA,
+    MANIFEST_NAME,
+    RunArchive,
+    config_signature,
+    experiment_signature,
+    load_manifest,
+    maybe_attach_env_archive,
+    note_artifact,
+    resolve_artifact,
+    sha256_file,
+)
+from repro.sim import Simulator
+from repro.topologies import build_abilene_iias
+
+
+def test_sha256_file_matches_hashlib(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"x" * 3000)
+    assert sha256_file(str(path)) == hashlib.sha256(b"x" * 3000).hexdigest()
+
+
+def test_config_signature_is_stable_and_order_insensitive():
+    a = config_signature({"seed": 8, "name": "fig8"})
+    b = config_signature({"name": "fig8", "seed": 8})
+    assert a == b and len(a) == 16
+    assert config_signature({"seed": 9, "name": "fig8"}) != a
+    # Non-JSON leaves sign through repr instead of raising.
+    assert config_signature({"obj": (1, 2)}) == config_signature({"obj": (1, 2)})
+
+
+def test_manifest_records_hashed_relative_artifacts(tmp_path):
+    root = tmp_path / "arch"
+    blob = tmp_path / "outside" / "trace.bin"
+    blob.parent.mkdir()
+    blob.write_bytes(b"\x01\x02\x03")
+    archive = RunArchive(str(root), name="run1", meta={"seed": 3})
+    archive.note(str(blob), "trace_spill")
+    archive.add_json("cell.json", {"n": 1}, kind="bench_cell")
+    path = archive.write()
+    assert path == str(root / MANIFEST_NAME)
+
+    manifest = load_manifest(str(root))  # dir or file both resolve
+    assert manifest["schema"] == ARCHIVE_SCHEMA
+    assert manifest["name"] == "run1"
+    assert manifest["meta"] == {"seed": 3}
+    entry = manifest["artifacts"]["trace.bin"]
+    assert entry["kind"] == "trace_spill"
+    assert entry["bytes"] == 3
+    assert entry["sha256"] == hashlib.sha256(b"\x01\x02\x03").hexdigest()
+    assert "/" in entry["path"] and "\\" not in entry["path"]
+    assert resolve_artifact(manifest, "trace.bin") == str(blob)
+    assert resolve_artifact(manifest, "cell.json") == str(root / "cell.json")
+
+
+def test_note_dedupes_paths_and_suffixes_name_collisions(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    for sub in ("a", "b"):
+        (tmp_path / sub / "trace.bin").write_bytes(b"x")
+    archive = RunArchive(str(tmp_path / "arch"))
+    first = archive.note(str(tmp_path / "a" / "trace.bin"), "trace_spill")
+    again = archive.note(str(tmp_path / "a" / "trace.bin"), "json")
+    other = archive.note(str(tmp_path / "b" / "trace.bin"), "trace_spill")
+    assert first == again == "trace.bin"  # re-note updates kind in place
+    assert other == "trace.bin-2"
+    manifest = archive.manifest()
+    assert manifest["artifacts"]["trace.bin"]["kind"] == "json"
+    assert set(manifest["artifacts"]) == {"trace.bin", "trace.bin-2"}
+
+
+def test_manifest_skips_missing_files_and_write_is_deterministic(tmp_path):
+    archive = RunArchive(str(tmp_path / "arch"), meta={"seed": 0})
+    archive.note(str(tmp_path / "never-written.bin"), "trace_spill")
+    archive.write()
+    first = (tmp_path / "arch" / MANIFEST_NAME).read_bytes()
+    archive.write()
+    assert (tmp_path / "arch" / MANIFEST_NAME).read_bytes() == first
+    assert load_manifest(str(tmp_path / "arch"))["artifacts"] == {}
+
+
+def test_load_manifest_rejects_wrong_schema(tmp_path):
+    path = tmp_path / MANIFEST_NAME
+    path.write_text(json.dumps({"schema": "repro.archive/999"}))
+    with pytest.raises(ValueError, match="unsupported archive schema"):
+        load_manifest(str(path))
+
+
+def test_attach_hooks_spill_and_detach_stops_collection(tmp_path):
+    sim = Simulator(seed=11)
+    archive = RunArchive(str(tmp_path / "arch"))
+    assert archive.attach(sim) is archive
+    assert sim._run_archive is archive
+    assert archive.meta["seed"] == 11  # defaulted from the simulator
+
+    sim.trace.log("tick", n=1)
+    spill = str(tmp_path / "trace.spill")
+    sim.trace.spill_to(spill)  # TraceCollector self-registers
+    manifest = archive.manifest()
+    assert manifest["artifacts"]["trace.spill"]["kind"] == "trace_spill"
+    assert manifest["meta"]["sim_time"] == sim.now
+
+    archive.detach()
+    assert sim._run_archive is None
+    assert note_artifact(sim, spill, "trace_spill") is None  # no-op now
+
+
+def test_from_manifest_round_trips_and_extends(tmp_path):
+    root = tmp_path / "arch"
+    archive = RunArchive(str(root), name="cellrun", meta={"seed": 5})
+    archive.add_json("cell.json", {"rate": 10}, kind="bench_cell")
+    archive.write()
+
+    loaded = RunArchive.from_manifest(str(root / MANIFEST_NAME))
+    assert loaded.name == "cellrun"
+    assert loaded.meta == {"seed": 5}
+    loaded.add_json("extra.json", {"more": True})
+    loaded.write()
+    manifest = load_manifest(str(root))
+    assert set(manifest["artifacts"]) == {"cell.json", "extra.json"}
+    assert manifest["artifacts"]["cell.json"]["kind"] == "bench_cell"
+
+
+def test_env_attach_is_gated_and_idempotent(tmp_path, monkeypatch):
+    sim = Simulator(seed=2)
+    monkeypatch.delenv("REPRO_RUN_ARCHIVE", raising=False)
+    assert maybe_attach_env_archive(sim) is None
+
+    monkeypatch.setenv("REPRO_RUN_ARCHIVE", str(tmp_path / "arch"))
+    archive = maybe_attach_env_archive(sim)
+    assert archive is not None and sim._run_archive is archive
+    assert maybe_attach_env_archive(sim) is archive  # second run(): reused
+
+
+def test_experiment_run_writes_env_archive(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_ARCHIVE", str(tmp_path / "arch"))
+    vini, exp = build_abilene_iias(seed=8)
+    exp.run(until=2.0)
+    manifest = load_manifest(str(tmp_path / "arch"))
+    meta = manifest["meta"]
+    assert meta["seed"] == 8
+    assert meta["sim_time"] == 2.0
+    assert meta["config_signature"] == experiment_signature(exp)
+    assert meta["events"] > 0
+
+    # The manifest is rewritten after every run() call...
+    vini.run(until=3.0)
+    meta = load_manifest(str(tmp_path / "arch"))["meta"]
+    assert meta["sim_time"] == 3.0
+    # ... and artifacts landing later still register:
+    spill = str(tmp_path / "arch" / "trace.spill")
+    vini.sim.trace.spill_to(spill)
+    vini.sim._run_archive.write()
+    assert "trace.spill" in load_manifest(str(tmp_path / "arch"))["artifacts"]
+
+
+def test_experiment_signature_tracks_topology_and_timetable():
+    _, exp_a = build_abilene_iias(seed=8)
+    _, exp_b = build_abilene_iias(seed=8)
+    assert experiment_signature(exp_a) == experiment_signature(exp_b)
+    _, exp_c = build_abilene_iias(seed=9)
+    # Same slice shape regardless of seed: the signature captures the
+    # experiment, the seed is separate manifest metadata.
+    assert experiment_signature(exp_c) == experiment_signature(exp_a)

@@ -275,12 +275,9 @@ def test_recorder_is_passive_golden_trace(plvini_run):
 
 
 def test_perfetto_json_same_seed_byte_identical():
-    from repro.tools import ping as ping_mod
-
     def run():
-        # Pin the process-global ICMP ident counter so this in-process
+        # The ICMP ident counter is per-simulator, so an in-process
         # rerun matches what two fresh same-seed processes produce.
-        ping_mod._next_ident[0] = 2000
         recorder, _ = run_flights(config="plvini", count=8, interval=0.1,
                                   seed=3, warmup=12.0, loaded=False,
                                   policy="all")

@@ -512,3 +512,53 @@ def test_sampler_spill_after_finish_is_an_error(tmp_path):
     sampler.finish()
     with pytest.raises(RuntimeError):
         sampler._spill("x", [(4.0, 1)])
+
+
+# ----------------------------------------------------------------------
+# Status line: TTY-aware suppression
+# ----------------------------------------------------------------------
+class _FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_status_line_refreshes_in_place_on_a_tty():
+    sim = Simulator()
+    status = _FakeTTY()
+    monitor = LiveMonitor(sim, status=status, clock=lambda: 1.0)
+    monitor._refresh_status(1.0)
+    monitor._refresh_status(2.0)
+    text = status.getvalue()
+    assert "\r\x1b[2K" in text  # in-place rewrite, no scrollback spam
+    assert monitor.status_refreshes == 2
+
+
+def test_status_line_is_suppressed_when_stream_is_not_a_tty():
+    """Piped/redirected output (CI logs) must not fill with carriage
+    returns: non-TTY targets get only final newline-terminated lines."""
+    sim = Simulator()
+    status = io.StringIO()  # isatty() -> False
+    monitor = LiveMonitor(sim, status=status, clock=lambda: 1.0)
+    monitor._refresh_status(1.0)  # in-place refresh: swallowed
+    monitor._refresh_status(2.0)
+    assert status.getvalue() == ""
+    assert monitor.status_refreshes == 0
+    monitor._refresh_status(3.0, newline=True)  # final line still lands
+    text = status.getvalue()
+    assert text.endswith("\n") and "\r" not in text and "\x1b" not in text
+    assert monitor.status_refreshes == 1
+
+
+def test_status_stream_without_isatty_counts_as_non_tty():
+    class NoIsatty:
+        def write(self, text):
+            pass
+
+        def flush(self):
+            pass
+
+    NoIsatty.isatty = property(lambda self: (_ for _ in ()).throw(
+        AttributeError("no isatty")))
+    sim = Simulator()
+    monitor = LiveMonitor(sim, status=NoIsatty(), clock=lambda: 1.0)
+    assert monitor._status_tty is False

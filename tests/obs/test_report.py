@@ -18,11 +18,8 @@ SHORT = dict(seed=8, warmup=20.0, fail_at=5.0, fail_duration=12.0,
 
 
 def _short_report() -> ExperimentReport:
-    from repro.tools import ping as ping_mod
-
-    # Pin the process-global ICMP ident counter so an in-process rerun
+    # The ICMP ident counter is per-simulator, so an in-process rerun
     # matches what two fresh same-seed processes produce.
-    ping_mod._next_ident[0] = 2000
     return run_fig8_report(**SHORT)
 
 

@@ -381,6 +381,32 @@ def test_cancel_event_staged_in_drain_batch():
     assert sim.pending == 0
 
 
+def test_merged_heap_event_cancels_staged_wheel_event():
+    # A heap event merged into a wheel batch cancels the very wheel
+    # event the merge loop was interleaving against. The drain must
+    # not advance the clock to the corpse's time (the heap reference
+    # ends at the cancel time) nor double-drop the live counter.
+    for levels in (0, 1, 2, 3):
+        sim = Simulator(wheel_levels=levels)
+        fired = []
+        timer = sim.schedule_periodic(1.0, lambda: fired.append(sim.now))
+        # 20.5 bins past the 2048 x 10 ms level-0 horizon, so with no
+        # upper levels it lands in the overflow heap and fires via the
+        # batch merge path while the 21.0 occurrence is staged.
+        sim.at(20.5, timer.cancel)
+        sim.run()
+        assert fired[-1] == 20.0, levels
+        assert sim.now == 20.5, levels
+        assert sim.pending == 0, levels
+
+    ref = Simulator(wheel=False)
+    fired = []
+    timer = ref.schedule_periodic(1.0, lambda: fired.append(ref.now))
+    ref.at(20.5, timer.cancel)
+    ref.run()
+    assert ref.now == 20.5 and ref.pending == 0
+
+
 def test_cancel_call_soon_event_before_it_fires():
     sim = Simulator()
     fired = []
